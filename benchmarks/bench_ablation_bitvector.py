@@ -1,0 +1,66 @@
+"""Ablation: bitvector sizing (the eps / memory trade-off, Section 3.5).
+
+Sweeps the bit-table size for BVP+COM on a fixed snowflake workload:
+small tables saturate (eps -> 1, checks are pure overhead), large
+tables approach exact semi-join filtering.  The weighted cost curve
+should be U-shaped-to-flat, matching the paper's observation that the
+optimization algorithms are not highly sensitive to the probe-weight
+parameter but pruning power matters.
+"""
+
+from repro.bench.runner import render_table
+from repro.core.optimizer import greedy_order
+from repro.core.stats import stats_from_data
+from repro.engine import execute
+from repro.modes import ExecutionMode
+from repro.workloads import generate_dataset, snowflake, specs_from_ranges
+
+
+def _sweep(num_bits_options, driver_size=8_000, seed=0):
+    query = snowflake(3, 2)
+    specs = specs_from_ranges(query, (0.1, 0.4), (2.0, 6.0), seed=seed)
+    dataset = generate_dataset(query, driver_size, specs, seed=seed)
+    stats = stats_from_data(dataset.catalog, query)
+    order = greedy_order(query, stats, "survival").order
+    baseline = execute(dataset.catalog, query, order, ExecutionMode.COM,
+                       flat_output=False)
+    rows = [{
+        "num_bits": "no bitvector",
+        "hash_probes": baseline.counters.hash_probes,
+        "bv_probes": 0,
+        "weighted_cost": baseline.weighted_cost(),
+    }]
+    for num_bits in num_bits_options:
+        result = execute(
+            dataset.catalog, query, order, ExecutionMode.BVP_COM,
+            flat_output=False, bitvector_bits=num_bits,
+        )
+        rows.append({
+            "num_bits": num_bits,
+            "hash_probes": result.counters.hash_probes,
+            "bv_probes": result.counters.bitvector_probes,
+            "weighted_cost": result.weighted_cost(),
+        })
+    return rows
+
+
+def test_ablation_bitvector_sizing(benchmark, figure_output):
+    rows = benchmark.pedantic(
+        _sweep,
+        kwargs={"num_bits_options": [256, 1024, 4096, 16384, 65536,
+                                     262144]},
+        rounds=1,
+        iterations=1,
+    )
+    table = render_table(
+        rows, ["num_bits", "hash_probes", "bv_probes", "weighted_cost"],
+        title="Ablation: bitvector size vs probes (BVP+COM, 3-2 snowflake)",
+    )
+    figure_output("ablation_bitvector", table)
+    # Bigger tables can only prune more: hash probes are monotonically
+    # non-increasing in the bitvector size.
+    sized = [r for r in rows if r["num_bits"] != "no bitvector"]
+    probes = [r["hash_probes"] for r in sized]
+    assert all(a >= b for a, b in zip(probes, probes[1:])), probes
+    # A saturated (tiny) bitvector never beats having no bitvector.
+    assert sized[0]["hash_probes"] <= rows[0]["hash_probes"]

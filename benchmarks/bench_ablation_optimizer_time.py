@@ -1,0 +1,63 @@
+"""Ablation: optimization time vs plan quality as queries grow.
+
+Algorithm 1 is exponential in the worst case (O(n 2^n)); the greedy
+heuristics are polynomial.  This ablation measures both the planning
+time and the cost gap on random trees of increasing size — the
+practical argument for the survival heuristic.
+"""
+
+import time
+
+import numpy as np
+
+from repro.bench.runner import render_table
+from repro.core.costmodel import com_probes_per_join
+from repro.core.optimizer import exhaustive_optimal, greedy_order
+from repro.workloads.random_trees import random_join_tree, random_stats
+
+
+def _sweep(sizes=(8, 12, 16), trees_per_size=5, seed=0):
+    rows = []
+    for max_nodes in sizes:
+        dp_times, greedy_times, gaps = [], [], []
+        for i in range(trees_per_size):
+            query = random_join_tree(max_nodes=max_nodes,
+                                     seed=seed * 1000 + max_nodes * 10 + i)
+            stats = random_stats(query, (0.1, 0.5), seed=seed + i)
+            start = time.perf_counter()
+            optimal = exhaustive_optimal(query, stats)
+            dp_times.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            plan = greedy_order(query, stats, "survival")
+            greedy_times.append(time.perf_counter() - start)
+            greedy_cost = sum(
+                com_probes_per_join(query, stats, plan.order).values()
+            )
+            gaps.append(greedy_cost / max(optimal.cost, 1e-12))
+        rows.append({
+            "max_nodes": max_nodes,
+            "dp_ms": 1000 * float(np.mean(dp_times)),
+            "greedy_ms": 1000 * float(np.mean(greedy_times)),
+            "speedup": float(np.mean(dp_times) / max(np.mean(greedy_times),
+                                                     1e-9)),
+            "mean_cost_gap": float(np.mean(gaps)),
+            "max_cost_gap": float(np.max(gaps)),
+        })
+    return rows
+
+
+def test_ablation_optimizer_time(benchmark, figure_output):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    table = render_table(
+        rows,
+        ["max_nodes", "dp_ms", "greedy_ms", "speedup",
+         "mean_cost_gap", "max_cost_gap"],
+        title="Ablation: Algorithm 1 vs survival heuristic "
+              "(planning time and cost gap)",
+        float_format="{:.4g}",
+    )
+    figure_output("ablation_optimizer_time", table)
+    # The heuristic stays near-optimal while being much faster on the
+    # largest trees.
+    assert rows[-1]["mean_cost_gap"] < 1.2
+    assert rows[-1]["speedup"] > 2.0

@@ -1,0 +1,29 @@
+"""Figure 4 benchmark: estimator q-error (naive vs correlated samples)."""
+
+from repro.bench import fig04
+from repro.bench.runner import render_table
+
+
+def test_fig04_estimation(benchmark, figure_output):
+    rows = benchmark.pedantic(
+        fig04.run,
+        kwargs={"num_tasks": 100, "scale": 2.0, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    table = render_table(
+        rows,
+        ["estimator", "bucket", "quantity", "avg_q_error", "std", "n"],
+        title="Figure 4: q-error of match probability / fanout estimators",
+    )
+    figure_output("fig04", table)
+    by_key = {
+        (r["estimator"], r["bucket"], r["quantity"]): r["avg_q_error"]
+        for r in rows
+    }
+    # Paper's qualitative claims: sampling beats naive on fanouts, and
+    # naive is poor for low match probabilities.
+    assert by_key[("1%", "m>0.05", "fanout")] < by_key[("naive", "m>0.05", "fanout")]
+    assert by_key[("1%", "m<0.05", "match_prob")] < by_key[
+        ("naive", "m<0.05", "match_prob")
+    ]

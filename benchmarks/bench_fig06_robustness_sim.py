@@ -1,0 +1,25 @@
+"""Figure 6 benchmark: plan-choice sensitivity to estimation errors."""
+
+from repro.bench import fig06
+from repro.bench.runner import render_table
+
+
+def test_fig06_estimation_error(benchmark, figure_output):
+    rows = benchmark.pedantic(
+        fig06.run,
+        kwargs={"num_samples": 100, "num_dimensions": 10, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    table = render_table(
+        rows,
+        ["error", "m_range", "fo_range", "model",
+         "mean_pct_diff", "median_pct_diff", "p90_pct_diff"],
+        title="Figure 6: % cost difference, estimate-chosen vs optimal plan",
+    )
+    figure_output("fig06", table)
+    # The new (match-based) model should be at least as robust as the
+    # selectivity model on average across all cells.
+    sel = [r["mean_pct_diff"] for r in rows if r["model"] == "selectivity"]
+    match = [r["mean_pct_diff"] for r in rows if r["model"] == "match"]
+    assert sum(match) <= sum(sel)

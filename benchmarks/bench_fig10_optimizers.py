@@ -1,0 +1,31 @@
+"""Figure 10 benchmark: greedy heuristics vs exhaustive optimum."""
+
+from repro.bench import fig10
+from repro.bench.runner import render_table
+
+
+def test_fig10_join_order_optimization(benchmark, figure_output):
+    rows = benchmark.pedantic(
+        fig10.run,
+        kwargs={"num_trees": 60, "max_nodes": 14, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    table = render_table(
+        rows,
+        ["m_range", "heuristic", "median_ratio", "p75_ratio",
+         "p95_ratio", "max_ratio", "frac_optimal"],
+        title="Figure 10: heuristic cost ratio vs exhaustive optimum",
+    )
+    figure_output("fig10", table)
+    # Paper: survival is near-optimal in almost all cases; rank ordering
+    # is the worst of the three.
+    for m_range in {r["m_range"] for r in rows}:
+        by_heur = {
+            r["heuristic"]: r for r in rows if r["m_range"] == m_range
+        }
+        assert by_heur["survival"]["median_ratio"] <= 1.05
+        assert (
+            by_heur["survival"]["median_ratio"]
+            <= by_heur["rank"]["median_ratio"] + 1e-9
+        )

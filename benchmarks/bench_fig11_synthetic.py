@@ -1,0 +1,30 @@
+"""Figure 11 benchmark: synthetic benchmark relative runtimes."""
+
+import math
+
+from repro.bench import fig11
+from repro.bench.runner import render_table
+
+
+def test_fig11_synthetic_benchmark(benchmark, figure_output):
+    rows = benchmark.pedantic(
+        fig11.run,
+        kwargs={"driver_size": 10_000, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    table = render_table(
+        rows,
+        ["shape", "m_range", "driver", "output", "mode",
+         "rel_time", "rel_weighted_probes", "output_size"],
+        title="Figure 11: relative execution vs COM (synthetic benchmark)",
+    )
+    figure_output("fig11", table)
+    # Paper's headline: COM variants beat STD variants in weighted
+    # probes for the high-match-probability configurations.
+    high_m = [r for r in rows if r["m_range"] == "[0.5-0.9]"
+              and r["output"] == "flat"]
+    for shape in {r["shape"] for r in high_m}:
+        shape_rows = {r["mode"]: r for r in high_m if r["shape"] == shape}
+        std = shape_rows["STD"]["rel_weighted_probes"]
+        assert math.isinf(std) or std > 1.0, (shape, std)

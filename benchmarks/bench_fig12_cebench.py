@@ -1,0 +1,28 @@
+"""Figure 12 benchmark: simulated CE benchmark relative runtimes."""
+
+import math
+
+from repro.bench import fig12
+from repro.bench.runner import render_table
+
+
+def test_fig12_ce_benchmark(benchmark, figure_output):
+    rows = benchmark.pedantic(
+        fig12.run,
+        kwargs={"num_queries": 10, "scale": 0.5, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    table = render_table(
+        rows,
+        ["dataset", "mode", "gmean_rel_time", "gmean_rel_probes",
+         "timeouts", "queries"],
+        title="Figure 12: relative execution vs COM (simulated CE datasets)",
+    )
+    figure_output("fig12", table)
+    # COM variants should not be worse than STD in weighted probes on
+    # any dataset (geometric mean over queries).
+    for dataset in {r["dataset"] for r in rows}:
+        by_mode = {r["mode"]: r for r in rows if r["dataset"] == dataset}
+        std = by_mode["STD"]["gmean_rel_probes"]
+        assert math.isinf(std) or std >= 0.9, (dataset, std)

@@ -1,0 +1,33 @@
+"""Figure 13 benchmark: analytic comparison of the five approaches."""
+
+from repro.bench import fig13
+from repro.bench.runner import render_table
+
+
+def test_fig13_simulation_analysis(benchmark, figure_output):
+    rows = benchmark.pedantic(
+        fig13.run,
+        kwargs={"driver_size": 100_000},
+        rounds=1,
+        iterations=1,
+    )
+    table = render_table(
+        rows,
+        ["shape", "fanout", "m", "mode", "estimated_cost"],
+        title="Figure 13: estimated cost vs match probability",
+        float_format="{:.4g}",
+    )
+    figure_output("fig13", table)
+
+    def cost(shape, fo, m, mode):
+        for r in rows:
+            if (r["shape"], r["fanout"], r["m"], r["mode"]) == (shape, fo, m, mode):
+                return r["estimated_cost"]
+        raise KeyError((shape, fo, m, mode))
+
+    # Paper: at high match probabilities the gap between STD and COM
+    # variants is large (fanout amplifies redundant probes)...
+    for shape in ("star", "path", "snowflake_3_2", "snowflake_5_1"):
+        assert cost(shape, 5.0, 0.9, "BVP+STD") > 2 * cost(shape, 5.0, 0.9, "COM")
+    # ... while at low match probabilities STD variants are competitive.
+    assert cost("star", 2.0, 0.1, "BVP+STD") < 2 * cost("star", 2.0, 0.1, "COM")

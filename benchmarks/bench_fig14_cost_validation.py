@@ -1,0 +1,26 @@
+"""Figure 14 benchmark: predicted cost vs measured execution time."""
+
+from repro.bench import fig14
+from repro.bench.runner import render_table
+
+
+def test_fig14_cost_model_validation(benchmark, figure_output):
+    summary, _scatter = benchmark.pedantic(
+        fig14.run,
+        kwargs={"driver_size": 10_000, "orders_per_query": 30, "seed": 0,
+                "repeats": 2},
+        rounds=1,
+        iterations=1,
+    )
+    table = render_table(
+        summary,
+        ["shape", "orders", "pearson_r", "spearman_r",
+         "cost_spread", "time_spread"],
+        title="Figure 14: predicted cost vs measured time (COM)",
+    )
+    figure_output("fig14", table)
+    pooled = [r for r in summary if r["shape"] == "ALL"][0]
+    # The paper's scatter is tightly linear; require a strong pooled
+    # rank correlation (wall-clock noise in pure Python is higher than
+    # in the C++ prototype).
+    assert pooled["spearman_r"] > 0.7, pooled

@@ -1,0 +1,31 @@
+"""Figure 16 benchmark: join-order robustness of the six approaches."""
+
+import math
+
+from repro.bench import fig16
+from repro.bench.runner import render_table
+
+
+def test_fig16_robustness(benchmark, figure_output):
+    rows = benchmark.pedantic(
+        fig16.run,
+        kwargs={"driver_size": 8_000, "num_orders": 10, "seed": 0,
+                "metric": "weighted_cost"},
+        rounds=1,
+        iterations=1,
+    )
+    table = render_table(
+        rows,
+        ["query", "mode", "norm_min", "norm_median",
+         "spread_max_over_min", "timeouts"],
+        title="Figure 16: execution spread over 10 random join orders",
+    )
+    figure_output("fig16", table)
+    # Theorem 3.5: SJ+COM shows (almost) no variation across orders;
+    # STD shows the widest spread on the synthetic snowflakes.
+    for query in {r["query"] for r in rows if r["query"].startswith("snowflake")}:
+        by_mode = {r["mode"]: r for r in rows if r["query"] == query}
+        sj_com = by_mode["SJ+COM"]["spread_max_over_min"]
+        std = by_mode["STD"]["spread_max_over_min"]
+        assert sj_com <= 1.2, (query, sj_com)
+        assert math.isinf(std) or std >= sj_com - 1e-9, (query, std, sj_com)

@@ -1,0 +1,27 @@
+"""Shared fixtures for the figure benchmarks.
+
+Each benchmark regenerates one figure of the paper and writes the
+rendered table to ``benchmarks/results/figNN.txt`` (in addition to the
+pytest-benchmark timing report).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def figure_output():
+    """Callable saving a rendered figure table to the results dir."""
+
+    def save(figure_name, text):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{figure_name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return save

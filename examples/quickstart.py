@@ -1,0 +1,92 @@
+"""Quickstart: build a small database, run a many-to-many join query
+under all six execution strategies, and optimize the join order.
+
+Run with:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    Catalog,
+    ExecutionMode,
+    JoinEdge,
+    JoinQuery,
+    exhaustive_optimal,
+    execute,
+    greedy_order,
+    stats_from_data,
+)
+
+# ----------------------------------------------------------------------
+# 1. Build a catalog: a tiny "orders" database with many-to-many joins.
+#    Each customer places many orders; each order has many items; items
+#    reference products, and customers have many support tickets.
+# ----------------------------------------------------------------------
+rng = np.random.default_rng(7)
+catalog = Catalog()
+num_customers = 2_000
+catalog.add_table("customers", {
+    "cid": np.arange(num_customers),
+    "region": rng.integers(0, 10, num_customers),
+})
+num_orders = 8_000
+catalog.add_table("orders", {
+    "cid": rng.integers(0, num_customers, num_orders),
+    "oid": np.arange(num_orders),
+})
+num_items = 25_000
+catalog.add_table("items", {
+    "oid": rng.integers(0, int(num_orders * 1.2), num_items),  # some dangle
+    "pid": rng.integers(0, 500, num_items),
+})
+catalog.add_table("products", {
+    "pid": rng.integers(0, 800, 600),  # not all referenced products exist
+})
+num_tickets = 5_000
+catalog.add_table("tickets", {
+    "cid": rng.integers(0, int(num_customers * 1.5), num_tickets),
+})
+
+# ----------------------------------------------------------------------
+# 2. Declare the acyclic join query (a rooted join tree).
+#    customers |><| orders |><| items |><| products, and
+#    customers |><| tickets.
+# ----------------------------------------------------------------------
+query = JoinQuery("customers", [
+    JoinEdge("customers", "orders", "cid", "cid"),
+    JoinEdge("orders", "items", "oid", "oid"),
+    JoinEdge("items", "products", "pid", "pid"),
+    JoinEdge("customers", "tickets", "cid", "cid"),
+])
+
+# ----------------------------------------------------------------------
+# 3. Measure statistics and optimize the join order.
+# ----------------------------------------------------------------------
+stats = stats_from_data(catalog, query)
+print("Per-edge statistics (match probability m, fanout fo):")
+for relation in query.non_root_relations:
+    print(f"  {relation:<10} m={stats.m(relation):.3f}  "
+          f"fo={stats.fo(relation):.2f}")
+
+optimal = exhaustive_optimal(query, stats)
+survival = greedy_order(query, stats, "survival")
+rank = greedy_order(query, stats, "rank")
+print(f"\nOptimal order (Algorithm 1): {optimal.order}  "
+      f"cost={optimal.cost:,.0f}")
+print(f"Survival heuristic:          {survival.order}")
+print(f"Classical rank ordering:     {rank.order}")
+
+# ----------------------------------------------------------------------
+# 4. Execute under every strategy and compare probe counts.
+# ----------------------------------------------------------------------
+print(f"\n{'mode':<10}{'hash probes':>14}{'bv probes':>12}"
+      f"{'sj probes':>12}{'output':>10}{'time':>10}")
+for mode in ExecutionMode.all_modes():
+    result = execute(catalog, query, optimal.order, mode, flat_output=True)
+    c = result.counters
+    print(f"{str(mode):<10}{c.hash_probes:>14,}{c.bitvector_probes:>12,}"
+          f"{c.semijoin_probes:>12,}{result.output_size:>10,}"
+          f"{result.wall_time:>9.3f}s")
+
+print("\nNote how the factorized (COM) variants avoid the redundant "
+      "probes that STD pays for every intermediate tuple.")

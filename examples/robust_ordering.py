@@ -1,0 +1,66 @@
+"""Robustness to the join order (Sections 3.7 and 5.7).
+
+The paper's claim: once redundant probes are avoided (COM), execution
+cost is far less sensitive to the join order, shrinking the payoff of
+complex optimizers and precise selectivity estimation.  This example
+runs ten random join orders of a snowflake query under each strategy
+and reports the max/min spread.
+
+Run with:  python examples/robust_ordering.py
+"""
+
+import numpy as np
+
+from repro import ExecutionMode, execute, optimize_sj, stats_from_data
+from repro.workloads import generate_dataset, snowflake, specs_from_ranges
+
+# ----------------------------------------------------------------------
+# 1. A 3-2 snowflake with moderately selective many-to-many joins.
+# ----------------------------------------------------------------------
+query = snowflake(3, 2)
+specs = specs_from_ranges(query, (0.2, 0.7), (2.0, 6.0), seed=11)
+dataset = generate_dataset(query, 4_000, specs, seed=11)
+stats = stats_from_data(dataset.catalog, query)
+sj_plan = optimize_sj(query, stats, factorized=True)
+
+# ----------------------------------------------------------------------
+# 2. Ten random join orders, all six strategies.
+# ----------------------------------------------------------------------
+rng = np.random.default_rng(3)
+orders = [query.random_order(rng) for _ in range(10)]
+
+print(f"{'mode':<10}{'best':>14}{'worst':>14}{'spread':>9}")
+for mode in ExecutionMode.all_modes():
+    costs = []
+    for order in orders:
+        result = execute(
+            dataset.catalog, query, order, mode,
+            flat_output=False,
+            child_orders=sj_plan.child_orders,
+        )
+        costs.append(result.weighted_cost())
+    best, worst = min(costs), max(costs)
+    print(f"{str(mode):<10}{best:>14,.0f}{worst:>14,.0f}"
+          f"{worst / best:>8.2f}x")
+
+print(
+    "\nSTD's cost swings widely with the order, while the factorized\n"
+    "variants are far flatter — and SJ+COM is essentially constant\n"
+    "(Theorem 3.5: with full reduction and no redundant probes, the\n"
+    "phase-2 cost does not depend on the join order at all)."
+)
+
+# ----------------------------------------------------------------------
+# 3. The theoretical fragility bounds of Section 3.7.
+# ----------------------------------------------------------------------
+from repro.core import theta_fragility
+
+n = 10
+for m_min, fo in ((0.2, 5.0), (0.5, 8.0)):
+    s_min = m_min * fo
+    print(
+        f"\nStar query, n={n}, m_min={m_min}, fo={fo}: "
+        f"theta(selectivity model, s_min={s_min:.1f}) = "
+        f"{theta_fragility(s_min, n):,.2f}  vs  "
+        f"theta(match model) = {theta_fragility(m_min, n):.2f}"
+    )

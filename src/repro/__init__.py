@@ -1,0 +1,84 @@
+"""repro: reproduction of "Optimizing Queries with Many-to-Many Joins".
+
+Kalumin & Deshpande, ICDE 2025 (arXiv:2412.16323).
+
+Public API highlights
+---------------------
+* :class:`repro.JoinQuery`, :class:`repro.JoinEdge` — acyclic join
+  trees rooted at a driver relation.
+* :class:`repro.QueryStats`, :class:`repro.EdgeStats` — match
+  probability / fanout statistics (Section 3.1).
+* :func:`repro.plan_cost`, :func:`repro.exhaustive_optimal`,
+  :func:`repro.greedy_order` — the cost model and optimizers
+  (Sections 3.3-3.6).
+* :func:`repro.execute`, :class:`repro.ExecutionMode` — the vectorized
+  engine with all six strategies (Section 4).
+* :mod:`repro.workloads` — synthetic benchmark, simulated CE datasets.
+"""
+
+from .core import (
+    CostWeights,
+    EdgeStats,
+    JoinEdge,
+    JoinQuery,
+    OptimizedPlan,
+    ParseError,
+    ParsedQuery,
+    PlanCost,
+    QueryStats,
+    best_driver,
+    execute_cyclic,
+    exhaustive_optimal,
+    expected_output_size,
+    greedy_order,
+    optimize_sj,
+    parse_query,
+    plan_cost,
+    spanning_tree_decomposition,
+    stats_from_data,
+    survival_probability,
+)
+from .engine import (
+    BudgetExceededError,
+    ExecutionResult,
+    execute,
+)
+from .modes import ExecutionMode
+from .planner import PhysicalPlan, Planner
+from .storage import Catalog, Table, load_catalog, save_catalog
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BudgetExceededError",
+    "Catalog",
+    "CostWeights",
+    "EdgeStats",
+    "ExecutionMode",
+    "ExecutionResult",
+    "JoinEdge",
+    "JoinQuery",
+    "OptimizedPlan",
+    "ParseError",
+    "ParsedQuery",
+    "PhysicalPlan",
+    "PlanCost",
+    "Planner",
+    "QueryStats",
+    "Table",
+    "best_driver",
+    "execute",
+    "execute_cyclic",
+    "exhaustive_optimal",
+    "expected_output_size",
+    "greedy_order",
+    "load_catalog",
+    "optimize_sj",
+    "parse_query",
+    "plan_cost",
+    "save_catalog",
+    "spanning_tree_decomposition",
+    "stats_from_data",
+    "survival_probability",
+    "__version__",
+]

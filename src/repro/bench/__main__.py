@@ -1,0 +1,40 @@
+"""CLI: regenerate any figure of the paper.
+
+Usage::
+
+    python -m repro.bench --figure 11
+    python -m repro.bench --all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import FIGURES
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's figures from the reproduction.",
+    )
+    parser.add_argument(
+        "--figure", choices=sorted(FIGURES, key=int),
+        help="figure number to regenerate",
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="regenerate every figure"
+    )
+    args = parser.parse_args(argv)
+    if not args.figure and not args.all:
+        parser.error("pass --figure N or --all")
+    targets = sorted(FIGURES, key=int) if args.all else [args.figure]
+    for figure in targets:
+        print(f"\n=== Figure {figure} ===")
+        FIGURES[figure].main()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

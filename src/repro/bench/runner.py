@@ -1,0 +1,134 @@
+"""Shared experiment-running helpers for the figure benchmarks."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.costmodel import CostWeights
+from ..engine import BudgetExceededError, execute
+from ..modes import ExecutionMode
+
+__all__ = [
+    "ModeRun",
+    "run_all_modes",
+    "relative_to",
+    "render_table",
+    "geometric_mean",
+]
+
+#: the paper's operation weights (Section 5.4)
+PAPER_WEIGHTS = CostWeights()
+
+
+@dataclass
+class ModeRun:
+    """Execution metrics of one mode on one query (or a timeout)."""
+
+    mode: ExecutionMode
+    wall_time: float = math.nan
+    hash_probes: int = 0
+    bitvector_probes: int = 0
+    semijoin_probes: int = 0
+    tuples_generated: int = 0
+    output_size: int = 0
+    weighted_cost: float = math.nan
+    timed_out: bool = False
+
+    @classmethod
+    def from_result(cls, result):
+        return cls(
+            mode=result.mode,
+            wall_time=result.wall_time,
+            hash_probes=result.counters.hash_probes,
+            bitvector_probes=result.counters.bitvector_probes,
+            semijoin_probes=result.counters.semijoin_probes,
+            tuples_generated=result.counters.tuples_generated,
+            output_size=result.output_size,
+            weighted_cost=result.counters.weighted_cost(PAPER_WEIGHTS),
+        )
+
+    @classmethod
+    def timeout(cls, mode):
+        return cls(mode=ExecutionMode(mode), timed_out=True)
+
+
+def run_all_modes(
+    catalog,
+    query,
+    order,
+    modes=None,
+    flat_output=True,
+    child_orders=None,
+    max_intermediate_tuples=20_000_000,
+):
+    """Execute a query under every mode; budget overruns become timeouts."""
+    modes = modes or ExecutionMode.all_modes()
+    runs = {}
+    for mode in modes:
+        try:
+            result = execute(
+                catalog,
+                query,
+                order,
+                mode,
+                flat_output=flat_output,
+                child_orders=child_orders if ExecutionMode(mode).uses_semijoin else None,
+                max_intermediate_tuples=max_intermediate_tuples,
+            )
+        except BudgetExceededError:
+            runs[ExecutionMode(mode)] = ModeRun.timeout(mode)
+            continue
+        runs[ExecutionMode(mode)] = ModeRun.from_result(result)
+    return runs
+
+
+def relative_to(runs, baseline=ExecutionMode.COM, metric="wall_time"):
+    """Per-mode metric normalized by the baseline mode's value."""
+    base = getattr(runs[baseline], metric)
+    ratios = {}
+    for mode, run in runs.items():
+        if run.timed_out or base in (0, 0.0) or math.isnan(base):
+            ratios[mode] = math.inf if run.timed_out else math.nan
+        else:
+            ratios[mode] = getattr(run, metric) / base
+    return ratios
+
+
+def geometric_mean(values):
+    """Geometric mean ignoring NaN; returns inf if any value is inf."""
+    cleaned = [v for v in values if not (isinstance(v, float) and math.isnan(v))]
+    if not cleaned:
+        return math.nan
+    if any(math.isinf(v) for v in cleaned):
+        return math.inf
+    log_sum = sum(math.log(max(v, 1e-12)) for v in cleaned)
+    return math.exp(log_sum / len(cleaned))
+
+
+def render_table(rows, columns, title=None, float_format="{:.3g}"):
+    """Render dict-rows as an aligned text table (the bench output)."""
+    lines = []
+    if title:
+        lines.append(title)
+
+    def fmt(value):
+        if isinstance(value, float):
+            if math.isnan(value):
+                return "-"
+            if math.isinf(value):
+                return "timeout"
+            return float_format.format(value)
+        return str(value)
+
+    cells = [[fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(row[i]) for row in cells)) if cells else len(col)
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

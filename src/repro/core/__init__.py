@@ -1,0 +1,88 @@
+"""Core contribution: cost model, optimizers, robustness analysis."""
+
+from .costmodel import (
+    CostWeights,
+    PlanCost,
+    bvp_plan_cost,
+    com_plan_cost,
+    com_probes_per_join,
+    expected_output_size,
+    plan_cost,
+    std_plan_cost,
+    std_probes_per_join,
+    survival_probability,
+)
+from .costmodel_sj import (
+    adjusted_fanout,
+    adjusted_match_probability,
+    reduction_ratios,
+    sj_phase1_cost,
+    sj_phase2_fanouts,
+    sj_plan_cost,
+)
+from .cyclic import (
+    CyclicPlan,
+    ResidualPredicate,
+    execute_cyclic,
+    spanning_tree_decomposition,
+)
+from .optimizer import (
+    GREEDY_HEURISTICS,
+    OptimizedPlan,
+    best_driver,
+    exhaustive_optimal,
+    greedy_order,
+    optimize_sj,
+)
+from .parser import ParsedQuery, ParseError, parse_query
+from .query import JoinEdge, JoinQuery
+from .robustness import (
+    best_star_order,
+    estimation_error_experiment,
+    star_query,
+    theta_fragility,
+    theta_robustness,
+)
+from .stats import EdgeStats, QueryStats, stats_from_data
+
+__all__ = [
+    "CostWeights",
+    "CyclicPlan",
+    "EdgeStats",
+    "GREEDY_HEURISTICS",
+    "JoinEdge",
+    "JoinQuery",
+    "OptimizedPlan",
+    "ParseError",
+    "ParsedQuery",
+    "PlanCost",
+    "QueryStats",
+    "ResidualPredicate",
+    "adjusted_fanout",
+    "adjusted_match_probability",
+    "best_driver",
+    "best_star_order",
+    "bvp_plan_cost",
+    "com_plan_cost",
+    "com_probes_per_join",
+    "estimation_error_experiment",
+    "execute_cyclic",
+    "exhaustive_optimal",
+    "expected_output_size",
+    "greedy_order",
+    "optimize_sj",
+    "parse_query",
+    "plan_cost",
+    "spanning_tree_decomposition",
+    "reduction_ratios",
+    "sj_phase1_cost",
+    "sj_phase2_fanouts",
+    "sj_plan_cost",
+    "star_query",
+    "stats_from_data",
+    "std_plan_cost",
+    "std_probes_per_join",
+    "survival_probability",
+    "theta_fragility",
+    "theta_robustness",
+]

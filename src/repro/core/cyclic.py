@@ -1,0 +1,221 @@
+"""Cyclic queries via spanning trees (Sections 2.1 and 6).
+
+The paper's techniques target acyclic queries; for cyclic ones it
+prescribes the standard practice of "choosing a spanning tree of the
+join graph" — the optimizer ignores the residual join predicates, and
+execution re-applies them as filters.  This module implements exactly
+that: :func:`spanning_tree_decomposition` splits a cyclic
+:class:`~repro.core.parser.ParsedQuery`'s join graph into a rooted
+:class:`~repro.core.query.JoinQuery` plus residual equality predicates,
+and :func:`execute_cyclic` evaluates the whole thing (tree join, then
+residual filtering on the flat result batches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..modes import ExecutionMode
+from .query import JoinEdge, JoinQuery
+
+__all__ = [
+    "ResidualPredicate",
+    "CyclicPlan",
+    "spanning_tree_decomposition",
+    "execute_cyclic",
+]
+
+
+@dataclass(frozen=True)
+class ResidualPredicate:
+    """An equality join predicate not covered by the spanning tree."""
+
+    relation_a: str
+    attr_a: str
+    relation_b: str
+    attr_b: str
+
+    def __repr__(self):
+        return (
+            f"ResidualPredicate({self.relation_a}.{self.attr_a} = "
+            f"{self.relation_b}.{self.attr_b})"
+        )
+
+
+@dataclass
+class CyclicPlan:
+    """A spanning-tree decomposition of a cyclic join graph."""
+
+    query: JoinQuery
+    residuals: list
+
+    @property
+    def is_cyclic(self):
+        return bool(self.residuals)
+
+
+def _edge_weight(edge_key, stats_hint):
+    """Lower weight = keep in the tree.
+
+    ``stats_hint`` maps (rel_a, attr_a, rel_b, attr_b) (either
+    direction) to an estimated selectivity; more selective edges are
+    kept in the tree so the residual filters discard little.
+    Unweighted edges default to 1.0.
+    """
+    if not stats_hint:
+        return 1.0
+    rel_a, attr_a, rel_b, attr_b = edge_key
+    for key in (edge_key, (rel_b, attr_b, rel_a, attr_a)):
+        if key in stats_hint:
+            return stats_hint[key]
+    return 1.0
+
+
+def spanning_tree_decomposition(parsed, driver=None, stats_hint=None):
+    """Choose a spanning tree of the join graph; rest become residuals.
+
+    Kruskal over the join predicates, keeping the lowest-selectivity
+    (most reducing) edges in the tree.  The returned
+    :class:`CyclicPlan` contains a rooted join query and the residual
+    predicates.  Works for acyclic inputs too (no residuals).
+    """
+    relations = list(parsed.relations)
+    if not relations:
+        raise ValueError("query has no relations")
+    if not parsed.is_connected():
+        raise ValueError("join graph is disconnected")
+    parent = {alias: alias for alias in relations}
+
+    def find(x):
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    ordered = sorted(
+        parsed.join_predicates,
+        key=lambda edge: (_edge_weight(edge, stats_hint), edge),
+    )
+    tree_edges, residuals = [], []
+    for rel_a, attr_a, rel_b, attr_b in ordered:
+        root_a, root_b = find(rel_a), find(rel_b)
+        if root_a == root_b:
+            residuals.append(
+                ResidualPredicate(rel_a, attr_a, rel_b, attr_b)
+            )
+        else:
+            parent[root_a] = root_b
+            tree_edges.append((rel_a, attr_a, rel_b, attr_b))
+
+    if driver is None:
+        driver = relations[0]
+    adjacency = {alias: [] for alias in relations}
+    for rel_a, attr_a, rel_b, attr_b in tree_edges:
+        adjacency[rel_a].append((rel_b, attr_a, attr_b))
+        adjacency[rel_b].append((rel_a, attr_b, attr_a))
+    edges = []
+    visited = {driver}
+    stack = [driver]
+    while stack:
+        node = stack.pop()
+        for child, parent_attr, child_attr in adjacency[node]:
+            if child in visited:
+                continue
+            visited.add(child)
+            edges.append(JoinEdge(node, child, parent_attr, child_attr))
+            stack.append(child)
+    return CyclicPlan(query=JoinQuery(driver, edges), residuals=residuals)
+
+
+def apply_residuals(catalog, residuals, rows_by_relation):
+    """Filter flat result rows by the residual equality predicates."""
+    if not rows_by_relation:
+        return rows_by_relation
+    n = len(next(iter(rows_by_relation.values())))
+    keep = np.ones(n, dtype=bool)
+    for predicate in residuals:
+        values_a = catalog.table(predicate.relation_a).column(
+            predicate.attr_a
+        )[rows_by_relation[predicate.relation_a]]
+        values_b = catalog.table(predicate.relation_b).column(
+            predicate.attr_b
+        )[rows_by_relation[predicate.relation_b]]
+        keep &= values_a == values_b
+    return {rel: rows[keep] for rel, rows in rows_by_relation.items()}
+
+
+def execute_cyclic(
+    catalog,
+    plan,
+    mode=ExecutionMode.COM,
+    order=None,
+    collect_output=False,
+    expansion_batch=8192,
+    max_intermediate_tuples=50_000_000,
+):
+    """Evaluate a (possibly cyclic) plan: tree join + residual filters.
+
+    Returns ``(output_size, execution_result, output_rows)``; the
+    execution result carries the tree-join counters.  Residual
+    filtering happens batch-at-a-time on the flat result, so cyclic
+    evaluation always pays the expansion (there is no factorized output
+    for cyclic queries — residual predicates break factorization).
+    """
+    from ..engine.executor import execute
+
+    mode = ExecutionMode(mode)
+    query = plan.query
+    if not plan.residuals:
+        result = execute(
+            catalog, query, order, mode,
+            flat_output=True, collect_output=collect_output,
+            expansion_batch=expansion_batch,
+            max_intermediate_tuples=max_intermediate_tuples,
+        )
+        return result.output_size, result, result.output_rows
+
+    if mode.factorized:
+        # Run the tree join factorized, then filter during expansion.
+        result = execute(
+            catalog, query, order, mode,
+            flat_output=False, collect_output=False,
+            max_intermediate_tuples=max_intermediate_tuples,
+        )
+        total = 0
+        collected = [] if collect_output else None
+        for batch in result.factorized.expand(
+            batch_entries=expansion_batch, max_rows=4_000_000
+        ):
+            filtered = apply_residuals(catalog, plan.residuals, batch)
+            batch_size = len(next(iter(filtered.values())))
+            total += batch_size
+            result.counters.tuples_generated += batch_size
+            if collected is not None and batch_size:
+                collected.append(filtered)
+    else:
+        result = execute(
+            catalog, query, order, mode,
+            flat_output=True, collect_output=True,
+            expansion_batch=expansion_batch,
+            max_intermediate_tuples=max_intermediate_tuples,
+        )
+        filtered = apply_residuals(catalog, plan.residuals,
+                                   result.output_rows)
+        total = len(next(iter(filtered.values()))) if filtered else 0
+        collected = [filtered] if collect_output else None
+
+    output_rows = None
+    if collect_output:
+        if collected:
+            output_rows = {
+                rel: np.concatenate([b[rel] for b in collected])
+                for rel in collected[0]
+            }
+        else:
+            output_rows = {
+                rel: np.empty(0, dtype=np.int64) for rel in query.relations
+            }
+    result.output_size = total
+    return total, result, output_rows

@@ -1,0 +1,340 @@
+"""Join-order optimization algorithms (Sections 3.4-3.6).
+
+The COM cost function violates the ASI property (Theorem 3.1), so the
+classical rank-ordering algorithm is no longer optimal.  This module
+implements:
+
+* :func:`exhaustive_optimal` — Algorithm 1, a dynamic program over
+  connected prefixes of the join tree (optimal; ``O(n 2^n)`` worst case
+  but much faster on non-star trees);
+* three greedy heuristics (:func:`greedy_order`): ``rank`` (classical
+  rank ordering by selectivity), ``result_size`` (minimize the
+  intermediate result appended by the next join) and ``survival``
+  (minimize the survival probability of the prefix) — Section 3.4;
+* :func:`optimize_sj` — the polynomial-time optimal algorithm for the
+  semi-join full-reduction variants (Section 3.6);
+* :func:`best_driver` — re-run any optimizer for every choice of the
+  driver relation and keep the cheapest (Sections 2.1 and 3.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..modes import ExecutionMode
+from .costmodel import (
+    CostWeights,
+    _eq1_probes,
+    _survival,
+    plan_cost,
+)
+from .costmodel_sj import reduction_ratios, sj_phase2_fanouts
+
+__all__ = [
+    "OptimizedPlan",
+    "exhaustive_optimal",
+    "greedy_order",
+    "GREEDY_HEURISTICS",
+    "optimize_sj",
+    "best_driver",
+]
+
+
+@dataclass
+class OptimizedPlan:
+    """An optimizer's output: a join order plus its estimated cost."""
+
+    query: object
+    order: list
+    cost: float
+    mode: ExecutionMode = ExecutionMode.COM
+    #: per-internal-relation semi-join child orders (SJ modes only)
+    child_orders: dict = field(default_factory=dict)
+
+    def __repr__(self):
+        return (
+            f"OptimizedPlan(driver={self.query.root!r}, order={self.order}, "
+            f"cost={self.cost:.4g}, mode={self.mode})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Incremental (prefix-set determined) cost deltas
+# ----------------------------------------------------------------------
+
+
+def _frontier_pseudo(query, stats, joined, eps):
+    """Pseudo bitvector nodes for every checked-but-unjoined relation.
+
+    Under full bitvector push-down a relation's bitvector has been
+    applied as soon as its parent is joined; with the driver fixed the
+    set of applied bitvectors depends only on the *set* of joined
+    relations, which is why the principle of optimality holds
+    (Theorem 3.3).
+    """
+    pseudo = {}
+    pseudo_children = {}
+    for relation in query.non_root_relations:
+        if relation in joined:
+            continue
+        parent = query.parent(relation)
+        if parent == query.root or parent in joined:
+            name = f"~bv:{relation}"
+            pseudo[name] = (parent, min(stats.m(relation) + eps, 1.0))
+            pseudo_children.setdefault(parent, []).append(name)
+    return pseudo, pseudo_children
+
+
+def _delta_cost(query, stats, joined, relation, mode, eps, weights):
+    """Additional expected cost of joining ``relation`` after ``joined``.
+
+    This is the quantity Algorithm 1 accumulates; for every supported
+    mode it depends only on the joined *set*, not its order (the
+    principle of optimality, Sections 3.4 and 3.5).
+    """
+    parent = query.parent(relation)
+    c = stats.probe_cost(relation)
+    if mode is ExecutionMode.STD:
+        tuples = stats.driver_size
+        for rel in joined:
+            if rel != query.root:
+                tuples *= stats.selectivity(rel)
+        return tuples * c * weights.hash_probe
+    if mode is ExecutionMode.COM:
+        probes = _eq1_probes(query, stats, joined, parent)
+        return probes * c * weights.hash_probe
+    if mode in (ExecutionMode.BVP_STD, ExecutionMode.BVP_COM):
+        pseudo, pseudo_children = _frontier_pseudo(query, stats, joined, eps)
+        if mode is ExecutionMode.BVP_COM:
+            hash_probes = _eq1_probes(
+                query, stats, joined, parent, pseudo, pseudo_children
+            )
+        else:
+            hash_probes = stats.driver_size
+            for rel in joined:
+                if rel != query.root:
+                    hash_probes *= stats.selectivity(rel)
+            for name, (_, m_eff) in pseudo.items():
+                hash_probes *= m_eff
+        # Bitvector checks triggered by this join: the children of
+        # ``relation`` become checkable.  Each check touches the alive
+        # entries of ``relation`` (COM) or the expanded stream (STD).
+        joined_after = joined | {relation}
+        pseudo_after, pseudo_children_after = _frontier_pseudo(
+            query, stats, joined_after, eps
+        )
+        bv_probes = 0.0
+        new_checks = sorted(
+            (child for child in query.children(relation)),
+            key=lambda child: stats.m(child),
+        )
+        if new_checks:
+            if mode is ExecutionMode.BVP_COM:
+                # Alive entries of ``relation`` just after its join,
+                # before its children's bitvectors are applied.
+                base_pseudo = {
+                    name: val
+                    for name, val in pseudo_after.items()
+                    if val[0] != relation
+                }
+                base_children = {
+                    node: [n for n in names if n in base_pseudo]
+                    for node, names in pseudo_children_after.items()
+                }
+                alive = _eq1_probes(
+                    query, stats, joined_after, relation, base_pseudo, base_children
+                )
+            else:
+                alive = stats.driver_size
+                for rel in joined_after:
+                    if rel != query.root:
+                        alive *= stats.selectivity(rel)
+                for name, (p, m_eff) in pseudo_after.items():
+                    if p != relation:
+                        alive *= m_eff
+            for child in new_checks:
+                bv_probes += alive
+                alive *= min(stats.m(child) + eps, 1.0)
+        return (
+            hash_probes * c * weights.hash_probe
+            + bv_probes * weights.bitvector_probe
+        )
+    raise ValueError(f"unsupported mode for incremental costing: {mode}")
+
+
+# ----------------------------------------------------------------------
+# Algorithm 1: exhaustive dynamic program over connected prefixes
+# ----------------------------------------------------------------------
+
+
+def exhaustive_optimal(query, stats, mode=ExecutionMode.COM, eps=0.01,
+                       weights=CostWeights()):
+    """Algorithm 1: optimal join order for a fixed driver.
+
+    Dynamic programming over connected subsets of the join tree that
+    contain the root; ``best[S]`` is the cheapest cost of any valid
+    order whose prefix is exactly ``S``.  The cost function obeys the
+    principle of optimality (every prefix of an optimal order is
+    optimal for its set), so expanding frontiers suffices.
+    """
+    mode = ExecutionMode(mode)
+    if mode.uses_semijoin:
+        return optimize_sj(query, stats, factorized=mode.factorized,
+                           weights=weights)
+    root_set = frozenset([query.root])
+    best = {root_set: (0.0, [])}
+    frontier_sets = [root_set]
+    all_relations = frozenset(query.relations)
+    while frontier_sets:
+        next_level = {}
+        for prefix_set in frontier_sets:
+            prefix_cost, prefix_order = best[prefix_set]
+            joined = set(prefix_set)
+            for relation in query.eligible_next(prefix_order):
+                delta = _delta_cost(
+                    query, stats, joined, relation, mode, eps, weights
+                )
+                new_set = prefix_set | {relation}
+                new_cost = prefix_cost + delta
+                incumbent = next_level.get(new_set)
+                if incumbent is None or new_cost < incumbent[0]:
+                    next_level[new_set] = (new_cost, prefix_order + [relation])
+        best.update(next_level)
+        frontier_sets = list(next_level)
+    total_cost, order = best[all_relations]
+    return OptimizedPlan(query=query, order=order, cost=total_cost, mode=mode)
+
+
+# ----------------------------------------------------------------------
+# Greedy heuristics (Section 3.4)
+# ----------------------------------------------------------------------
+
+
+def _rank_key(query, stats, joined, relation):
+    """Classical rank ordering: ascending ``(s - 1) / c``."""
+    return (stats.selectivity(relation) - 1.0) / stats.probe_cost(relation)
+
+
+def _result_size_key(query, stats, joined, relation):
+    """Minimize the intermediate result appended by the next join.
+
+    Under the factorized model the result of joining ``relation`` adds
+    ``probes * s`` entries (Eq. (1) probes, each fanning out ``s``).
+    """
+    parent = query.parent(relation)
+    probes = _eq1_probes(query, stats, joined, parent)
+    return probes * stats.selectivity(relation)
+
+
+def _survival_key(query, stats, joined, relation):
+    """Minimize the total survival probability of the extended prefix."""
+    members = joined | {relation}
+    return _survival(query, stats, query.root, members, {}, {})
+
+
+GREEDY_HEURISTICS = {
+    "rank": _rank_key,
+    "result_size": _result_size_key,
+    "survival": _survival_key,
+}
+
+
+def greedy_order(query, stats, heuristic="survival", mode=ExecutionMode.COM,
+                 eps=0.01, weights=CostWeights(), flat_output=False):
+    """Greedy join ordering with one of the paper's three heuristics.
+
+    ``heuristic`` is one of ``"rank"``, ``"result_size"``,
+    ``"survival"``.  The returned plan's ``cost`` is evaluated under
+    ``mode``'s full cost model (the paper evaluates all heuristics under
+    the COM cost model — Section 5.1).
+    """
+    try:
+        key_fn = GREEDY_HEURISTICS[heuristic]
+    except KeyError:
+        raise ValueError(
+            f"unknown heuristic {heuristic!r}; "
+            f"choose from {sorted(GREEDY_HEURISTICS)}"
+        ) from None
+    order = []
+    joined = {query.root}
+    while len(order) < len(query.non_root_relations):
+        candidates = query.eligible_next(order)
+        scored = [
+            (key_fn(query, stats, joined, relation), relation)
+            for relation in candidates
+        ]
+        scored.sort(key=lambda pair: (pair[0], pair[1]))
+        chosen = scored[0][1]
+        order.append(chosen)
+        joined.add(chosen)
+    cost = plan_cost(query, stats, order, mode, eps=eps,
+                     flat_output=flat_output).total(weights)
+    return OptimizedPlan(query=query, order=order, cost=cost, mode=mode)
+
+
+# ----------------------------------------------------------------------
+# Semi-join variants: polynomial-time optimal (Section 3.6)
+# ----------------------------------------------------------------------
+
+
+def optimize_sj(query, stats, factorized, weights=CostWeights(),
+                flat_output=False):
+    """Optimal plan for SJ+STD / SJ+COM with the driver fixed.
+
+    Decisions (Section 3.6): semi-join children in increasing adjusted
+    ``m'``; the phase-2 order is increasing adjusted fanout ``fo'``
+    (rank ordering, STD) or increasing root-to-relation fanout product
+    (COM, where the cost is order-independent by Theorem 3.5 and the
+    sort keeps intermediate factorized results small).
+    """
+    ratios, m_primes = reduction_ratios(query, stats)
+    child_orders = {
+        node: sorted(query.children(node), key=m_primes.__getitem__)
+        for node in query.internal_relations()
+    }
+    fanouts = sj_phase2_fanouts(query, stats, ratios)
+    if factorized:
+        path_product = {query.root: 1.0}
+        for relation in query.preorder():
+            if relation != query.root:
+                parent = query.parent(relation)
+                path_product[relation] = path_product[parent] * fanouts[relation]
+        sort_key = path_product.__getitem__
+    else:
+        sort_key = fanouts.__getitem__
+    order = []
+    while len(order) < len(query.non_root_relations):
+        candidates = query.eligible_next(order)
+        order.append(min(candidates, key=lambda rel: (sort_key(rel), rel)))
+    mode = ExecutionMode.SJ_COM if factorized else ExecutionMode.SJ_STD
+    cost = plan_cost(query, stats, order, mode,
+                     flat_output=flat_output).total(weights)
+    return OptimizedPlan(query=query, order=order, cost=cost, mode=mode,
+                         child_orders=child_orders)
+
+
+# ----------------------------------------------------------------------
+# Driver choice
+# ----------------------------------------------------------------------
+
+
+def best_driver(query, stats_for_root, mode=ExecutionMode.COM, eps=0.01,
+                weights=CostWeights(), optimizer=exhaustive_optimal):
+    """Optimize once per candidate driver and keep the best plan.
+
+    ``stats_for_root`` is a callable mapping a rooted
+    :class:`~repro.core.query.JoinQuery` to its :class:`QueryStats`
+    (the stats are direction-dependent, so they must be derived per
+    rooting — e.g. with :func:`repro.core.stats.stats_from_data`).
+    """
+    best_plan = None
+    for relation in query.relations:
+        rooted = query.rerooted(relation)
+        stats = stats_for_root(rooted)
+        if optimizer is exhaustive_optimal:
+            plan = optimizer(rooted, stats, mode=mode, eps=eps, weights=weights)
+        else:
+            plan = optimizer(rooted, stats)
+        if best_plan is None or plan.cost < best_plan.cost:
+            best_plan = plan
+    return best_plan

@@ -1,0 +1,267 @@
+"""A SQL-subset parser for multi-way equi-join queries.
+
+The paper states queries in SQL (Figure 1):
+
+.. code-block:: sql
+
+    select * from R1, R2, R3, R4, R5, R6
+    where R1.B = R2.B and R2.C = R3.C and R2.D = R4.D
+      and R1.E = R5.E and R5.F = R6.F
+
+This module parses that dialect — ``SELECT * FROM <relations> WHERE
+<conjunctive equalities>`` — into a :class:`ParsedQuery` holding the
+join graph plus any constant selection predicates (which the planner
+pushes down to the relations, as the paper assumes in Section 2.1).
+
+Supported grammar (case-insensitive keywords)::
+
+    query      := SELECT '*' FROM rel (',' rel)* [WHERE conjunct (AND conjunct)*]
+    rel        := identifier [[AS] identifier]
+    conjunct   := colref '=' colref        -- join predicate
+                | colref '=' literal       -- selection predicate
+    colref     := identifier '.' identifier
+    literal    := integer | quoted string
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from .query import JoinEdge, JoinQuery
+
+__all__ = ["ParseError", "ParsedQuery", "parse_query"]
+
+
+class ParseError(ValueError):
+    """Raised for queries outside the supported grammar."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(
+        (?P<string>'[^']*')
+      | (?P<number>-?\d+)
+      | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+      | (?P<symbol>[*,.=()])
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"select", "from", "where", "and", "as"}
+
+
+def _tokenize(text):
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if not match:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise ParseError(f"unexpected input at: {remainder[:30]!r}")
+        pos = match.end()
+        if match.group("string") is not None:
+            tokens.append(("string", match.group("string")[1:-1]))
+        elif match.group("number") is not None:
+            tokens.append(("number", int(match.group("number"))))
+        elif match.group("ident") is not None:
+            word = match.group("ident")
+            if word.lower() in _KEYWORDS:
+                tokens.append(("keyword", word.lower()))
+            else:
+                tokens.append(("ident", word))
+        else:
+            tokens.append(("symbol", match.group("symbol")))
+    return tokens
+
+
+@dataclass
+class ParsedQuery:
+    """The parsed form: relations, join predicates, selections."""
+
+    #: alias -> table name (alias == name when no alias was given)
+    relations: dict
+    #: (alias_a, attr_a, alias_b, attr_b) equality joins
+    join_predicates: list
+    #: alias -> {column: literal} constant selections
+    selections: dict = field(default_factory=dict)
+
+    def table_name(self, alias):
+        try:
+            return self.relations[alias]
+        except KeyError:
+            raise KeyError(
+                f"unknown relation alias {alias!r}; "
+                f"known: {sorted(self.relations)}"
+            ) from None
+
+    def is_acyclic(self):
+        """True when the join predicates form a forest over relations."""
+        parent = {alias: alias for alias in self.relations}
+
+        def find(x):
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for alias_a, _, alias_b, _ in self.join_predicates:
+            root_a, root_b = find(alias_a), find(alias_b)
+            if root_a == root_b:
+                return False
+            parent[root_a] = root_b
+        return True
+
+    def is_connected(self):
+        """True when every relation is reachable through join predicates."""
+        if not self.relations:
+            return True
+        adjacency = {alias: set() for alias in self.relations}
+        for alias_a, _, alias_b, _ in self.join_predicates:
+            adjacency[alias_a].add(alias_b)
+            adjacency[alias_b].add(alias_a)
+        seen = set()
+        stack = [next(iter(self.relations))]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(adjacency[node] - seen)
+        return seen == set(self.relations)
+
+    def to_join_query(self, driver=None):
+        """Root the (acyclic, connected) join graph at ``driver``.
+
+        Raises :class:`ParseError` when the graph is cyclic or
+        disconnected (cartesian products are not supported; cyclic
+        queries go through :mod:`repro.core.cyclic` instead).
+        """
+        if not self.is_connected():
+            raise ParseError(
+                "join graph is disconnected (cartesian products are not "
+                "supported)"
+            )
+        if not self.is_acyclic():
+            raise ParseError(
+                "join graph is cyclic; use repro.core.cyclic to choose a "
+                "spanning tree"
+            )
+        if driver is None:
+            driver = next(iter(self.relations))
+        if driver not in self.relations:
+            raise KeyError(f"driver {driver!r} is not a query relation")
+        adjacency = {alias: [] for alias in self.relations}
+        for alias_a, attr_a, alias_b, attr_b in self.join_predicates:
+            adjacency[alias_a].append((alias_b, attr_a, attr_b))
+            adjacency[alias_b].append((alias_a, attr_b, attr_a))
+        edges = []
+        visited = {driver}
+        stack = [driver]
+        while stack:
+            parent = stack.pop()
+            for child, parent_attr, child_attr in adjacency[parent]:
+                if child in visited:
+                    continue
+                visited.add(child)
+                edges.append(JoinEdge(parent, child, parent_attr, child_attr))
+                stack.append(child)
+        return JoinQuery(driver, edges)
+
+
+class _Parser:
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self):
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self):
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of query")
+        self.pos += 1
+        return token
+
+    def expect(self, kind, value=None):
+        token = self.next()
+        if token[0] != kind or (value is not None and token[1] != value):
+            raise ParseError(
+                f"expected {value or kind}, got {token[1]!r}"
+            )
+        return token
+
+    def parse(self):
+        self.expect("keyword", "select")
+        self.expect("symbol", "*")
+        self.expect("keyword", "from")
+        relations = self._parse_relations()
+        joins, selections = [], {}
+        if self.peek() is not None:
+            self.expect("keyword", "where")
+            self._parse_conjuncts(relations, joins, selections)
+        if self.peek() is not None:
+            raise ParseError(f"trailing tokens at {self.peek()[1]!r}")
+        return ParsedQuery(relations=relations, join_predicates=joins,
+                           selections=selections)
+
+    def _parse_relations(self):
+        relations = {}
+        while True:
+            name = self.expect("ident")[1]
+            alias = name
+            token = self.peek()
+            if token == ("keyword", "as"):
+                self.next()
+                alias = self.expect("ident")[1]
+            elif token is not None and token[0] == "ident":
+                alias = self.next()[1]
+            if alias in relations:
+                raise ParseError(f"duplicate relation alias {alias!r}")
+            relations[alias] = name
+            if self.peek() == ("symbol", ","):
+                self.next()
+                continue
+            return relations
+
+    def _parse_colref(self, relations):
+        alias = self.expect("ident")[1]
+        if alias not in relations:
+            raise ParseError(f"unknown relation {alias!r} in predicate")
+        self.expect("symbol", ".")
+        column = self.expect("ident")[1]
+        return alias, column
+
+    def _parse_conjuncts(self, relations, joins, selections):
+        while True:
+            alias_a, attr_a = self._parse_colref(relations)
+            self.expect("symbol", "=")
+            token = self.peek()
+            if token is None:
+                raise ParseError("dangling '='")
+            if token[0] in ("number", "string"):
+                literal = self.next()[1]
+                selections.setdefault(alias_a, {})[attr_a] = literal
+            else:
+                alias_b, attr_b = self._parse_colref(relations)
+                if alias_a == alias_b:
+                    raise ParseError(
+                        f"self-join predicate on {alias_a!r} is not supported"
+                    )
+                joins.append((alias_a, attr_a, alias_b, attr_b))
+            if self.peek() == ("keyword", "and"):
+                self.next()
+                continue
+            return
+
+
+def parse_query(sql):
+    """Parse a SQL string into a :class:`ParsedQuery`."""
+    tokens = _tokenize(sql)
+    if not tokens:
+        raise ParseError("empty query")
+    return _Parser(tokens).parse()

@@ -1,0 +1,179 @@
+"""Robustness analysis of plan choice (Section 3.7, Figure 6).
+
+A strategy is *theta-fragile* / *Theta-robust* if the normalized
+performance deviation of any plan from the best plan lies between
+``theta`` and ``Theta``.  For a star query with ``n`` dimension tables
+the paper derives, for the classical selectivity-based model,
+
+.. math:: \\theta = (1 - s_{min}^{n-1}) / (1 - s_{min})
+
+and shows the analogous bound for the new match-probability-based model
+replaces ``s`` with ``m`` (shrinking the spread, since ``m <= 1`` while
+``s`` can exceed 1).  This module provides those closed forms plus the
+Figure 6 estimation-error simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .costmodel import com_plan_cost, std_plan_cost
+from .query import JoinEdge, JoinQuery
+from .stats import EdgeStats, QueryStats
+
+__all__ = [
+    "theta_fragility",
+    "theta_robustness",
+    "star_query",
+    "best_star_order",
+    "EstimationErrorResult",
+    "estimation_error_experiment",
+]
+
+
+def _geometric_sum(x, terms):
+    """``sum_{i=1}^{terms} x^i`` computed stably."""
+    powers = np.power(float(x), np.arange(1, terms + 1))
+    return float(powers.sum())
+
+
+def theta_fragility(value_min, n):
+    """Lower bound ``theta`` for a star query with ``n`` dimensions.
+
+    ``value_min`` is ``s_min`` for the selectivity-based model or
+    ``m_min`` for the match-probability model.
+    """
+    if n < 2:
+        raise ValueError("a star query needs at least 2 dimension tables")
+    if abs(1.0 - value_min) < 1e-12:
+        return float(n - 1)
+    return (1.0 - value_min ** (n - 1)) / (1.0 - value_min)
+
+
+def theta_robustness(value_min, value_max, n):
+    """Upper bound ``Theta`` for a star query with ``n`` dimensions."""
+    if n < 3:
+        return 0.0
+    spread = value_max - value_min
+    if abs(spread) < 1e-12:
+        return 0.0
+    total = _geometric_sum(value_max, n - 2) - _geometric_sum(value_min, n - 2)
+    return total / spread
+
+
+# ----------------------------------------------------------------------
+# Figure 6 simulation
+# ----------------------------------------------------------------------
+
+
+def star_query(num_dimensions, driver="R0"):
+    """A star query: the driver joins each dimension on its own key."""
+    edges = [
+        JoinEdge(driver, f"D{i}", f"k{i}", f"k{i}")
+        for i in range(1, num_dimensions + 1)
+    ]
+    return JoinQuery(driver, edges)
+
+
+def best_star_order(query, stats, model):
+    """Optimal order of a star query under either cost model.
+
+    For stars, the selectivity model's optimum is ascending ``s`` and
+    the new model's optimum is ascending ``m`` (each join's probe count
+    depends only on the product of earlier factors).
+    """
+    relations = query.non_root_relations
+    if model == "selectivity":
+        return sorted(relations, key=stats.selectivity)
+    if model == "match":
+        return sorted(relations, key=stats.m)
+    raise ValueError(f"model must be 'selectivity' or 'match', got {model!r}")
+
+
+def _plan_cost_for_model(query, stats, order, model):
+    if model == "selectivity":
+        return std_plan_cost(query, stats, order).hash_probes
+    return com_plan_cost(query, stats, order, flat_output=False).hash_probes
+
+
+@dataclass
+class EstimationErrorResult:
+    """One Figure 6 cell: distribution of percentage cost differences."""
+
+    model: str
+    m_range: tuple
+    fo_range: tuple
+    error_range: tuple
+    pct_differences: np.ndarray
+
+    @property
+    def mean(self):
+        return float(self.pct_differences.mean())
+
+    @property
+    def median(self):
+        return float(np.median(self.pct_differences))
+
+    @property
+    def p90(self):
+        return float(np.percentile(self.pct_differences, 90))
+
+
+def estimation_error_experiment(
+    m_range,
+    fo_range,
+    error_range,
+    num_dimensions=10,
+    num_samples=100,
+    driver_size=1.0,
+    seed=0,
+):
+    """Reproduce one cell of Figure 6.
+
+    For each sample: draw true ``(m_i, fo_i)`` uniformly from the
+    ranges, perturb each estimate multiplicatively by a factor drawn
+    from ``1 +- U(error_range)``, pick the best order under the
+    *estimated* stats, and report the percentage cost increase of that
+    order over the true optimum, evaluated with the *true* stats —
+    once per cost model.
+    """
+    rng = np.random.default_rng(seed)
+    query = star_query(num_dimensions)
+    results = {}
+    diffs = {"selectivity": [], "match": []}
+    for _ in range(num_samples):
+        true_edges = {}
+        est_edges = {}
+        for relation in query.non_root_relations:
+            m = rng.uniform(*m_range)
+            fo = rng.uniform(*fo_range)
+            true_edges[relation] = EdgeStats(m=m, fo=fo)
+            err_m = rng.uniform(*error_range) * rng.choice([-1.0, 1.0])
+            err_fo = rng.uniform(*error_range) * rng.choice([-1.0, 1.0])
+            est_edges[relation] = EdgeStats(
+                m=min(max(m * (1.0 + err_m), 1e-9), 1.0),
+                fo=max(fo * (1.0 + err_fo), 1.0),
+            )
+        true_stats = QueryStats(driver_size, true_edges)
+        est_stats = QueryStats(driver_size, est_edges)
+        for model in ("selectivity", "match"):
+            est_order = best_star_order(query, est_stats, model)
+            opt_order = best_star_order(query, true_stats, model)
+            est_cost = _plan_cost_for_model(query, true_stats, est_order, model)
+            opt_cost = _plan_cost_for_model(query, true_stats, opt_order, model)
+            if opt_cost <= 0:
+                pct = 0.0
+            else:
+                pct = 100.0 * (est_cost - opt_cost) / opt_cost
+            diffs[model].append(pct)
+    for model, values in diffs.items():
+        results[model] = EstimationErrorResult(
+            model=model,
+            m_range=tuple(m_range),
+            fo_range=tuple(fo_range),
+            error_range=tuple(error_range),
+            pct_differences=np.asarray(values),
+        )
+    return results

@@ -1,0 +1,156 @@
+"""Join statistics: match probabilities and fanouts.
+
+Section 3.1 of the paper splits the classical join selectivity ``s``
+into a *match probability* ``m`` (chance that an input tuple finds at
+least one match) and a *fanout* ``fo`` (average number of matches for a
+tuple that does match), with ``s = m * fo``.  :class:`EdgeStats` holds
+that pair for one parent->child join; :class:`QueryStats` maps every
+non-root relation of a :class:`~repro.core.query.JoinQuery` to its
+stats, plus the driver cardinality and per-operator probe costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["EdgeStats", "QueryStats", "stats_from_data"]
+
+
+@dataclass(frozen=True)
+class EdgeStats:
+    """Match probability and fanout for probing a parent into a child."""
+
+    m: float
+    fo: float
+
+    def __post_init__(self):
+        if not 0.0 <= self.m <= 1.0:
+            raise ValueError(f"match probability must be in [0, 1], got {self.m}")
+        if self.fo < 0.0:
+            raise ValueError(f"fanout must be non-negative, got {self.fo}")
+
+    @property
+    def selectivity(self):
+        """Classical join selectivity ``s = m * fo`` (Section 3.1)."""
+        return self.m * self.fo
+
+    def scaled(self, factor):
+        """Stats with the match probability scaled (clamped to [0, 1])."""
+        return EdgeStats(m=min(max(self.m * factor, 0.0), 1.0), fo=self.fo)
+
+
+class QueryStats:
+    """Statistics for every join operator of a query.
+
+    Parameters
+    ----------
+    driver_size:
+        Cardinality of the driver relation after selections (``N``).
+    edge_stats:
+        Mapping from non-root relation name to :class:`EdgeStats` for
+        the probe *from its parent into it*.
+    probe_costs:
+        Optional mapping from relation name to the cost of a single
+        probe into that relation's join operator (``c_i``; default 1.0).
+    relation_sizes:
+        Optional mapping from relation name to cardinality; needed by
+        the semi-join cost model (phase-1 probes scan whole relations).
+        Missing sizes default to ``driver_size`` (the paper's Figure 13
+        simulation uses equal-size relations).
+    """
+
+    def __init__(self, driver_size, edge_stats, probe_costs=None, relation_sizes=None):
+        if driver_size < 0:
+            raise ValueError(f"driver_size must be non-negative, got {driver_size}")
+        self.driver_size = float(driver_size)
+        self.edge_stats = dict(edge_stats)
+        self.probe_costs = dict(probe_costs or {})
+        self.relation_sizes = dict(relation_sizes or {})
+
+    def stats(self, relation):
+        """EdgeStats for probing from the parent into ``relation``."""
+        try:
+            return self.edge_stats[relation]
+        except KeyError:
+            raise KeyError(
+                f"no statistics for relation {relation!r}; "
+                f"known: {sorted(self.edge_stats)}"
+            ) from None
+
+    def m(self, relation):
+        return self.stats(relation).m
+
+    def fo(self, relation):
+        return self.stats(relation).fo
+
+    def selectivity(self, relation):
+        return self.stats(relation).selectivity
+
+    def probe_cost(self, relation):
+        return self.probe_costs.get(relation, 1.0)
+
+    def relation_size(self, relation):
+        """Cardinality of ``relation`` (defaults to the driver size)."""
+        return float(self.relation_sizes.get(relation, self.driver_size))
+
+    def with_edge(self, relation, stats):
+        """A copy with one relation's stats replaced."""
+        new_stats = dict(self.edge_stats)
+        new_stats[relation] = stats
+        return QueryStats(
+            self.driver_size, new_stats, self.probe_costs, self.relation_sizes
+        )
+
+    def perturbed(self, error_fraction, rng=None):
+        """Simulate estimation error (Section 3.7 / Figure 6).
+
+        Each ``m`` and ``fo`` is multiplied independently by a factor
+        drawn uniformly from ``[1 - e, 1 + e]``; ``m`` is clamped to
+        ``(0, 1]`` and ``fo`` to ``>= 1`` minimum of its perturbed value.
+        """
+        rng = np.random.default_rng(rng)
+        new_stats = {}
+        for relation, stats in self.edge_stats.items():
+            m_factor = 1.0 + rng.uniform(-error_fraction, error_fraction)
+            fo_factor = 1.0 + rng.uniform(-error_fraction, error_fraction)
+            m = min(max(stats.m * m_factor, 1e-9), 1.0)
+            fo = max(stats.fo * fo_factor, 1.0)
+            new_stats[relation] = EdgeStats(m=m, fo=fo)
+        return QueryStats(
+            self.driver_size, new_stats, self.probe_costs, self.relation_sizes
+        )
+
+    def __repr__(self):
+        return (
+            f"QueryStats(N={self.driver_size:g}, "
+            f"edges={{{', '.join(sorted(self.edge_stats))}}})"
+        )
+
+
+def stats_from_data(catalog, query):
+    """Measure the true ``(m, fo)`` for every edge of ``query``.
+
+    For each edge ``p -> c``, every tuple of ``p`` is (conceptually)
+    probed into ``c``: ``m`` is the fraction that find at least one
+    match and ``fo`` the average match count among those that do.
+    This is the ground truth that estimators (Section 3.2) approximate
+    and that the cost-model validation (Figure 14) uses.
+    """
+    edge_stats = {}
+    for edge in query.edges:
+        parent_keys = catalog.table(edge.parent).column(edge.parent_attr)
+        index = catalog.hash_index(edge.child, edge.child_attr)
+        result = index.lookup(parent_keys)
+        num_parents = len(parent_keys)
+        matched = int(result.matched_mask.sum())
+        m = matched / num_parents if num_parents else 0.0
+        if matched:
+            fo = float(result.counts.sum()) / matched
+        else:
+            fo = 1.0
+        edge_stats[edge.child] = EdgeStats(m=m, fo=fo)
+    driver_size = len(catalog.table(query.root))
+    sizes = {rel: len(catalog.table(rel)) for rel in query.relations}
+    return QueryStats(driver_size, edge_stats, relation_sizes=sizes)

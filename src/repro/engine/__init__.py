@@ -1,0 +1,24 @@
+"""Vectorized query execution engine (Section 4)."""
+
+from .bitvector import BitvectorFilter, default_num_bits
+from .executor import (
+    BudgetExceededError,
+    ExecutionCounters,
+    ExecutionResult,
+    execute,
+)
+from .factorized import FactorizedNode, FactorizedResult
+from .semijoin import ReductionResult, full_reduction
+
+__all__ = [
+    "BitvectorFilter",
+    "BudgetExceededError",
+    "ExecutionCounters",
+    "ExecutionResult",
+    "FactorizedNode",
+    "FactorizedResult",
+    "ReductionResult",
+    "default_num_bits",
+    "execute",
+    "full_reduction",
+]

@@ -1,0 +1,78 @@
+"""Bitvector filters for early pruning (Section 4.4).
+
+Each join operator builds one bitvector from its build-side equi-join
+column: keys are hashed into a power-of-two bit table.  Probing is a
+hash-only membership check, so false positives occur (and are priced by
+``eps`` in the Section 3.5 cost model); false negatives never occur, so
+correctness is unaffected — spurious tuples are eliminated by the real
+join later.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BitvectorFilter", "default_num_bits"]
+
+#: multiplier of build-side cardinality used to size the bit table
+_BITS_PER_KEY = 16
+
+
+def default_num_bits(num_keys):
+    """Power-of-two bit-table size for a build side of ``num_keys``."""
+    target = max(64, _BITS_PER_KEY * max(1, num_keys))
+    return 1 << int(np.ceil(np.log2(target)))
+
+
+def _mix(keys):
+    """SplitMix64 finalizer: avalanche int64 keys into uint64 hashes."""
+    h = keys.astype(np.uint64)
+    h = (h + np.uint64(0x9E3779B97F4A7C15)) & np.uint64(0xFFFFFFFFFFFFFFFF)
+    h ^= h >> np.uint64(30)
+    h = (h * np.uint64(0xBF58476D1CE4E5B9)) & np.uint64(0xFFFFFFFFFFFFFFFF)
+    h ^= h >> np.uint64(27)
+    h = (h * np.uint64(0x94D049BB133111EB)) & np.uint64(0xFFFFFFFFFFFFFFFF)
+    h ^= h >> np.uint64(31)
+    return h
+
+
+class BitvectorFilter:
+    """A single-hash bitvector filter over a build-side key column."""
+
+    def __init__(self, keys, num_bits=None):
+        keys = np.asarray(keys)
+        if num_bits is None:
+            num_bits = default_num_bits(len(keys))
+        if num_bits & (num_bits - 1):
+            raise ValueError(f"num_bits must be a power of two, got {num_bits}")
+        self.num_bits = num_bits
+        self._mask = np.uint64(num_bits - 1)
+        self.bits = np.zeros(num_bits, dtype=bool)
+        if len(keys):
+            self.bits[_mix(keys) & self._mask] = True
+        self.num_keys = len(keys)
+
+    def might_contain(self, keys):
+        """Vectorized membership check; one bitvector probe per key."""
+        keys = np.asarray(keys)
+        if len(keys) == 0:
+            return np.zeros(0, dtype=bool)
+        return self.bits[_mix(keys) & self._mask]
+
+    @property
+    def fill_fraction(self):
+        """Fraction of set bits — the expected false-positive rate."""
+        return float(self.bits.sum()) / self.num_bits
+
+    def measured_false_positive_rate(self, absent_keys):
+        """Empirical false-positive rate on keys known to be absent."""
+        absent_keys = np.asarray(absent_keys)
+        if len(absent_keys) == 0:
+            return 0.0
+        return float(self.might_contain(absent_keys).mean())
+
+    def __repr__(self):
+        return (
+            f"BitvectorFilter(bits={self.num_bits}, keys={self.num_keys}, "
+            f"fill={self.fill_fraction:.4f})"
+        )

@@ -1,0 +1,350 @@
+"""The vectorized left-deep pipeline executor (Section 4).
+
+:func:`execute` runs a join order under any of the six strategies of
+Section 4.1 (STD, COM, BVP+STD, BVP+COM, SJ+STD, SJ+COM) and returns an
+:class:`ExecutionResult` carrying the output plus the paper's abstract
+cost metrics: hash-table probes (per relation), bitvector probes,
+semi-join probes and tuples generated.
+
+All strategies produce identical flat results — the integration tests
+verify this against a brute-force evaluator — and differ only in how
+much intermediate work they perform, which is precisely what the
+paper's evaluation measures.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.costmodel import CostWeights
+from ..modes import ExecutionMode
+from ..storage.hashindex import HashIndex
+from .bitvector import BitvectorFilter
+from .factorized import FactorizedResult
+from .semijoin import full_reduction
+
+__all__ = [
+    "BudgetExceededError",
+    "ExecutionCounters",
+    "ExecutionResult",
+    "execute",
+]
+
+
+class BudgetExceededError(RuntimeError):
+    """Raised when an execution exceeds ``max_intermediate_tuples``.
+
+    The paper's experiments report timed-out queries (mostly STD
+    variants whose intermediate results explode); this exception is the
+    reproduction's equivalent of such a timeout.
+    """
+
+    def __init__(self, mode, relation, size, budget):
+        super().__init__(
+            f"{mode}: intermediate result reached {size} tuples at join "
+            f"with {relation!r} (budget {budget})"
+        )
+        self.mode = mode
+        self.relation = relation
+        self.size = size
+        self.budget = budget
+
+
+@dataclass
+class ExecutionCounters:
+    """Operation counts accumulated during one execution."""
+
+    hash_probes: int = 0
+    bitvector_probes: int = 0
+    semijoin_probes: int = 0
+    tuples_generated: int = 0
+    hash_probes_by_relation: dict = field(default_factory=dict)
+
+    def count_hash_probes(self, relation, probes):
+        self.hash_probes += probes
+        self.hash_probes_by_relation[relation] = (
+            self.hash_probes_by_relation.get(relation, 0) + probes
+        )
+
+    def weighted_cost(self, weights=CostWeights()):
+        """Scalar cost under the paper's probe weights (Section 5.4)."""
+        return (
+            weights.hash_probe * self.hash_probes
+            + weights.bitvector_probe * self.bitvector_probes
+            + weights.semijoin_probe * self.semijoin_probes
+            + weights.tuple_generation * self.tuples_generated
+        )
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one query execution."""
+
+    mode: ExecutionMode
+    order: list
+    output_size: int
+    counters: ExecutionCounters
+    wall_time: float
+    #: flat output rows ({relation: row-index array}) if collected
+    output_rows: dict = None
+    #: the factorized result object (COM variants) if kept
+    factorized: FactorizedResult = None
+
+    def weighted_cost(self, weights=CostWeights()):
+        return self.counters.weighted_cost(weights)
+
+
+def _bitvector_check_schedule(query, order):
+    """When each relation's bitvector is applied on the probe side.
+
+    Identical scheduling to the cost model
+    (:func:`repro.core.costmodel._bvp_check_schedule`): a bitvector is
+    checked as soon as its parent attribute is available.
+    """
+    checks_after = {"scan": []}
+    for relation in order:
+        checks_after[relation] = []
+    for relation in order:
+        parent = query.parent(relation)
+        event = "scan" if parent == query.root else parent
+        checks_after[event].append(relation)
+    return checks_after
+
+
+def _build_bitvectors(query, catalog, reduction=None, num_bits=None):
+    """One bitvector per non-root relation, over its build-side keys."""
+    filters = {}
+    for edge in query.edges:
+        table = catalog.table(edge.child)
+        keys = table.column(edge.child_attr)
+        if reduction is not None:
+            keys = keys[reduction.rows(edge.child)]
+        filters[edge.child] = BitvectorFilter(keys, num_bits=num_bits)
+    return filters
+
+
+def _build_indexes(query, catalog, reduction=None):
+    """Hash index per non-root relation on its join attribute."""
+    indexes = {}
+    for edge in query.edges:
+        if reduction is not None:
+            indexes[edge.child] = reduction.reduced_index(
+                catalog, edge.child, edge.child_attr
+            )
+        else:
+            indexes[edge.child] = catalog.hash_index(edge.child, edge.child_attr)
+    return indexes
+
+
+# ----------------------------------------------------------------------
+# COM (factorized) pipeline
+# ----------------------------------------------------------------------
+
+
+def _run_factorized(query, catalog, order, indexes, bitvectors, checks_after,
+                    counters, budget, driver_rows):
+    result = FactorizedResult(query, driver_rows)
+
+    def apply_check(relation_checked):
+        edge = query.edge_to(relation_checked)
+        parent_node = result.node(edge.parent)
+        alive_idx = parent_node.alive_indices()
+        keys = catalog.table(edge.parent).column(edge.parent_attr)[
+            parent_node.rows[alive_idx]
+        ]
+        counters.bitvector_probes += len(keys)
+        keep = bitvectors[relation_checked].might_contain(keys)
+        if not keep.all():
+            parent_node.alive[alive_idx[~keep]] = False
+            result.propagate_deaths()
+
+    if bitvectors is not None:
+        for relation in checks_after["scan"]:
+            apply_check(relation)
+
+    for relation in order:
+        edge = query.edge_to(relation)
+        parent_node = result.node(edge.parent)
+        alive_idx = parent_node.alive_indices()
+        keys = catalog.table(edge.parent).column(edge.parent_attr)[
+            parent_node.rows[alive_idx]
+        ]
+        counters.count_hash_probes(relation, len(keys))
+        lookup = indexes[relation].lookup(keys)
+        matched = lookup.matched_mask
+        if not matched.all():
+            parent_node.alive[alive_idx[~matched]] = False
+        total_matches = int(lookup.counts.sum())
+        if total_matches > budget:
+            raise BudgetExceededError("COM", relation, total_matches, budget)
+        matches = lookup.matching_rows()
+        parent_ptr = np.repeat(alive_idx[matched], lookup.counts[matched])
+        result.add_node(relation, matches, parent_ptr)
+        counters.tuples_generated += len(matches)
+        result.propagate_deaths()
+        if bitvectors is not None:
+            for pending in checks_after[relation]:
+                apply_check(pending)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+
+
+def execute(
+    catalog,
+    query,
+    order=None,
+    mode=ExecutionMode.COM,
+    *,
+    flat_output=True,
+    collect_output=False,
+    child_orders=None,
+    bitvector_bits=None,
+    expansion_batch=8192,
+    max_intermediate_tuples=50_000_000,
+):
+    """Execute ``query`` in the given join ``order`` under ``mode``.
+
+    Parameters
+    ----------
+    order:
+        A precedence-respecting permutation of the non-root relations
+        (default: the query's declaration order).
+    flat_output:
+        If True, COM variants pay the final expansion step (the flat
+        result is generated batch-wise and counted; kept only when
+        ``collect_output``).  STD variants always produce flat output.
+    collect_output:
+        Keep the output row indices on the result (memory permitting).
+    child_orders:
+        SJ variants: per-internal-relation semi-join child order
+        (default: query declaration order; the optimizer supplies the
+        increasing-``m'`` order).
+    bitvector_bits:
+        BVP variants: bit-table size override (power of two).
+    max_intermediate_tuples:
+        Abort with :class:`BudgetExceededError` beyond this size — the
+        reproduction's equivalent of the paper's query timeouts.
+    """
+    mode = ExecutionMode(mode)
+    if order is None:
+        order = list(query.non_root_relations)
+    query.validate_order(order)
+    counters = ExecutionCounters()
+    start = time.perf_counter()
+
+    reduction = None
+    if mode.uses_semijoin:
+        reduction = full_reduction(query, catalog, child_orders=child_orders)
+        counters.semijoin_probes += reduction.semijoin_probes
+
+    indexes = _build_indexes(query, catalog, reduction)
+    bitvectors = None
+    checks_after = None
+    if mode.uses_bitvectors:
+        bitvectors = _build_bitvectors(query, catalog, num_bits=bitvector_bits)
+        checks_after = _bitvector_check_schedule(query, order)
+
+    if reduction is not None:
+        driver_rows = reduction.rows(query.root)
+    else:
+        driver_rows = np.arange(len(catalog.table(query.root)), dtype=np.int64)
+
+    output_rows = None
+    factorized = None
+    if mode.factorized:
+        factorized = _run_factorized(
+            query, catalog, order, indexes, bitvectors, checks_after,
+            counters, max_intermediate_tuples, driver_rows,
+        )
+        output_size = factorized.count_rows()
+        if flat_output:
+            # Expansion step: generate the flat result batch-at-a-time
+            # (kept only if requested); each generated tuple is work.
+            if output_size > max_intermediate_tuples:
+                raise BudgetExceededError(
+                    str(mode), "<expansion>", output_size,
+                    max_intermediate_tuples,
+                )
+            counters.tuples_generated += output_size
+            collected = [] if collect_output else None
+            for batch in factorized.expand(
+                batch_entries=expansion_batch,
+                max_rows=4_000_000,
+            ):
+                if collected is not None:
+                    collected.append(batch)
+            if collected is not None:
+                if collected:
+                    output_rows = {
+                        rel: np.concatenate([b[rel] for b in collected])
+                        for rel in collected[0]
+                    }
+                else:
+                    output_rows = {
+                        rel: np.empty(0, dtype=np.int64)
+                        for rel in query.relations
+                    }
+    else:
+        frame = _run_flat_driver(
+            query, catalog, order, indexes, bitvectors, checks_after,
+            counters, max_intermediate_tuples, driver_rows,
+        )
+        output_size = len(next(iter(frame.values()))) if frame else 0
+        if collect_output:
+            output_rows = frame
+
+    wall_time = time.perf_counter() - start
+    return ExecutionResult(
+        mode=mode,
+        order=list(order),
+        output_size=output_size,
+        counters=counters,
+        wall_time=wall_time,
+        output_rows=output_rows,
+        factorized=factorized,
+    )
+
+
+def _run_flat_driver(query, catalog, order, indexes, bitvectors, checks_after,
+                     counters, budget, driver_rows):
+    """STD pipeline starting from an explicit driver row set."""
+    frame = {query.root: np.asarray(driver_rows, dtype=np.int64)}
+
+    def apply_check(relation_checked):
+        edge = query.edge_to(relation_checked)
+        parent_rows = frame[edge.parent]
+        keys = catalog.table(edge.parent).column(edge.parent_attr)[parent_rows]
+        counters.bitvector_probes += len(keys)
+        keep = bitvectors[relation_checked].might_contain(keys)
+        for rel in list(frame):
+            frame[rel] = frame[rel][keep]
+
+    if bitvectors is not None:
+        for relation in checks_after["scan"]:
+            apply_check(relation)
+
+    for relation in order:
+        edge = query.edge_to(relation)
+        parent_rows = frame[edge.parent]
+        keys = catalog.table(edge.parent).column(edge.parent_attr)[parent_rows]
+        counters.count_hash_probes(relation, len(keys))
+        lookup = indexes[relation].lookup(keys)
+        total_matches = int(lookup.counts.sum())
+        if total_matches > budget:
+            raise BudgetExceededError("STD", relation, total_matches, budget)
+        matches = lookup.matching_rows()
+        repeat = lookup.counts
+        frame = {rel: np.repeat(rows, repeat) for rel, rows in frame.items()}
+        frame[relation] = matches
+        counters.tuples_generated += len(matches)
+        if bitvectors is not None:
+            for pending in checks_after[relation]:
+                apply_check(pending)
+    return frame

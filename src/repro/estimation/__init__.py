@@ -1,0 +1,19 @@
+"""Match-probability and fanout estimation (Section 3.2)."""
+
+from .naive import (
+    naive_estimate,
+    naive_estimate_from_tables,
+    predicate_selectivity,
+)
+from .qerror import mean_q_error, q_error
+from .sampling import CorrelatedSample, true_join_stats
+
+__all__ = [
+    "CorrelatedSample",
+    "mean_q_error",
+    "naive_estimate",
+    "naive_estimate_from_tables",
+    "predicate_selectivity",
+    "q_error",
+    "true_join_stats",
+]

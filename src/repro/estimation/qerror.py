@@ -1,0 +1,44 @@
+"""Q-error, the standard cardinality-estimation accuracy metric.
+
+Used by Figure 4 to compare the naive and sampling-based estimators of
+match probability and fanout (Moerkotte et al., "Preventing bad plans
+by bounding the impact of cardinality estimation errors").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["q_error", "mean_q_error"]
+
+#: floor applied to both estimate and truth, avoiding division blow-ups
+_FLOOR = 1e-9
+
+
+def q_error(estimate, truth, floor=_FLOOR):
+    """``max(estimate / truth, truth / estimate)`` with floor guards.
+
+    A perfect estimate scores 1.0; the metric is symmetric in over- and
+    under-estimation.  Zero (or near-zero) values are floored so that an
+    estimator that predicts "no match" for a genuinely empty join is not
+    penalized with infinity.
+    """
+    est = max(float(estimate), floor)
+    tru = max(float(truth), floor)
+    return max(est / tru, tru / est)
+
+
+def mean_q_error(estimates, truths, floor=_FLOOR):
+    """Average q-error over paired arrays (returns mean and std)."""
+    estimates = np.asarray(estimates, dtype=np.float64)
+    truths = np.asarray(truths, dtype=np.float64)
+    if estimates.shape != truths.shape:
+        raise ValueError(
+            f"shape mismatch: {estimates.shape} vs {truths.shape}"
+        )
+    errors = np.array(
+        [q_error(e, t, floor) for e, t in zip(estimates, truths)]
+    )
+    if len(errors) == 0:
+        return 0.0, 0.0
+    return float(errors.mean()), float(errors.std())

@@ -1,0 +1,59 @@
+"""The six execution strategies compared throughout the paper.
+
+Section 4.1: the engine can run the standard execution model (STD) or
+the factorized/compressed model (COM), each optionally combined with
+bitvector-based early pruning (BVP) or semi-join full reduction (SJ),
+giving six strategies.  The same enum parameterizes both the analytic
+cost model and the execution engine.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["ExecutionMode"]
+
+
+class ExecutionMode(str, Enum):
+    """One of the six execution strategies of Section 4.1."""
+
+    STD = "STD"
+    COM = "COM"
+    BVP_STD = "BVP+STD"
+    BVP_COM = "BVP+COM"
+    SJ_STD = "SJ+STD"
+    SJ_COM = "SJ+COM"
+
+    @property
+    def factorized(self):
+        """True if intermediate results use the factorized representation."""
+        return self in (
+            ExecutionMode.COM,
+            ExecutionMode.BVP_COM,
+            ExecutionMode.SJ_COM,
+        )
+
+    @property
+    def uses_bitvectors(self):
+        """True if bitvector-based early pruning is enabled."""
+        return self in (ExecutionMode.BVP_STD, ExecutionMode.BVP_COM)
+
+    @property
+    def uses_semijoin(self):
+        """True if a phase-1 semi-join full reduction is performed."""
+        return self in (ExecutionMode.SJ_STD, ExecutionMode.SJ_COM)
+
+    @classmethod
+    def all_modes(cls):
+        """All six strategies, STD first (the paper's listing order)."""
+        return [
+            cls.STD,
+            cls.COM,
+            cls.BVP_STD,
+            cls.BVP_COM,
+            cls.SJ_STD,
+            cls.SJ_COM,
+        ]
+
+    def __str__(self):
+        return self.value

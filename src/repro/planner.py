@@ -1,0 +1,276 @@
+"""End-to-end planner: SQL (or JoinQuery) in, executable plan out.
+
+Ties the whole system together the way a downstream user would consume
+it:
+
+1. parse the query (:mod:`repro.core.parser`) and push constant
+   selections down to the relations (Section 2.1's assumption);
+2. derive statistics — exact (:func:`repro.core.stats.stats_from_data`)
+   or via correlated sampling (Section 3.2);
+3. pick the driver, the join order (Algorithm 1 or a greedy heuristic)
+   and the execution strategy (the cost model prices all six; the
+   paper: "our cost model ... can be used for making optimization
+   decisions among the competing approaches");
+4. return a :class:`PhysicalPlan` that executes on the engine and can
+   ``explain()`` itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .core.costmodel import CostWeights, plan_cost
+from .core.optimizer import exhaustive_optimal, greedy_order, optimize_sj
+from .core.parser import ParsedQuery, parse_query
+from .core.query import JoinQuery
+from .core.stats import EdgeStats, QueryStats, stats_from_data
+from .engine.executor import execute
+from .modes import ExecutionMode
+from .storage.table import Catalog, Table
+
+__all__ = ["PhysicalPlan", "Planner", "push_down_selections"]
+
+
+def push_down_selections(catalog, parsed):
+    """Materialize constant selections into a derived catalog.
+
+    Returns a new :class:`Catalog` where each selected relation is
+    replaced by its filtered rows (registered under the query alias, so
+    aliased self-references of the same base table stay distinct).
+    """
+    derived = Catalog()
+    for alias, table_name in parsed.relations.items():
+        table = catalog.table(table_name)
+        predicate = parsed.selections.get(alias, {})
+        if predicate:
+            mask = np.ones(len(table), dtype=bool)
+            for column, literal in predicate.items():
+                mask &= table.column(column) == literal
+            columns = {
+                name: values[mask] for name, values in table.columns.items()
+            }
+        else:
+            columns = dict(table.columns)
+        derived.add(Table(alias, columns))
+    return derived
+
+
+@dataclass
+class PhysicalPlan:
+    """An optimized, executable plan."""
+
+    catalog: Catalog
+    query: JoinQuery
+    order: list
+    mode: ExecutionMode
+    stats: QueryStats
+    predicted_cost: float
+    child_orders: dict = field(default_factory=dict)
+    weights: CostWeights = field(default_factory=CostWeights)
+
+    def execute(self, flat_output=True, collect_output=False,
+                max_intermediate_tuples=50_000_000):
+        """Run the plan on the engine."""
+        return execute(
+            self.catalog,
+            self.query,
+            self.order,
+            self.mode,
+            flat_output=flat_output,
+            collect_output=collect_output,
+            child_orders=self.child_orders or None,
+            max_intermediate_tuples=max_intermediate_tuples,
+        )
+
+    def explain(self):
+        """A human-readable plan tree with per-join statistics."""
+        from .core.costmodel import com_probes_per_join, std_probes_per_join
+
+        if self.mode.factorized:
+            probes = com_probes_per_join(self.query, self.stats, self.order)
+        else:
+            probes = std_probes_per_join(self.query, self.stats, self.order)
+        lines = [
+            f"PhysicalPlan mode={self.mode} driver={self.query.root} "
+            f"predicted_cost={self.predicted_cost:,.0f}",
+            f"  SCAN {self.query.root} "
+            f"(N={self.stats.driver_size:,.0f})",
+        ]
+        for position, relation in enumerate(self.order, start=1):
+            edge = self.query.edge_to(relation)
+            stats = self.stats.stats(relation)
+            lines.append(
+                f"  {position}. JOIN {relation} ON "
+                f"{edge.parent}.{edge.parent_attr} = "
+                f"{edge.child}.{edge.child_attr}  "
+                f"[m={stats.m:.3f} fo={stats.fo:.2f} "
+                f"est_probes={probes[relation]:,.0f}]"
+            )
+        if self.child_orders:
+            lines.append(f"  semi-join child orders: {self.child_orders}")
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return (
+            f"PhysicalPlan(mode={self.mode}, driver={self.query.root!r}, "
+            f"order={self.order}, cost={self.predicted_cost:.4g})"
+        )
+
+
+class Planner:
+    """Query planner over a catalog.
+
+    Parameters
+    ----------
+    catalog:
+        The :class:`~repro.storage.Catalog` holding base tables.
+    weights:
+        Operation weights used to compare strategies (Section 5.4).
+    eps:
+        Assumed bitvector false-positive rate for BVP costing.
+    """
+
+    #: optimizer choices exposed to ``plan()``
+    OPTIMIZERS = ("exhaustive", "survival", "rank", "result_size")
+
+    def __init__(self, catalog, weights=None, eps=0.01):
+        self.catalog = catalog
+        self.weights = weights or CostWeights()
+        self.eps = eps
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    def derive_stats(self, catalog, query, method="exact",
+                     sample_fraction=0.05, seed=0):
+        """QueryStats for a rooted query: exact or sampling-based."""
+        if isinstance(method, QueryStats):
+            return method
+        if method == "exact":
+            return stats_from_data(catalog, query)
+        if method == "sampling":
+            from .estimation.sampling import CorrelatedSample
+
+            edge_stats = {}
+            for edge in query.edges:
+                sample = CorrelatedSample(
+                    catalog.table(edge.parent),
+                    catalog.table(edge.child),
+                    edge.parent_attr,
+                    edge.child_attr,
+                    sample_fraction=sample_fraction,
+                    seed=seed,
+                )
+                estimate = sample.estimate()
+                edge_stats[edge.child] = EdgeStats(
+                    m=estimate.m, fo=max(estimate.fo, 1e-9)
+                )
+            sizes = {rel: len(catalog.table(rel)) for rel in query.relations}
+            return QueryStats(len(catalog.table(query.root)), edge_stats,
+                              relation_sizes=sizes)
+        raise ValueError(
+            f"stats method must be 'exact', 'sampling' or a QueryStats; "
+            f"got {method!r}"
+        )
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+
+    def _order_for_mode(self, query, stats, mode, optimizer):
+        """Best order (and SJ child orders) for one strategy."""
+        if mode.uses_semijoin:
+            plan = optimize_sj(query, stats, factorized=mode.factorized,
+                               weights=self.weights)
+            return plan.order, plan.child_orders
+        if optimizer == "exhaustive":
+            plan = exhaustive_optimal(query, stats, mode=mode, eps=self.eps,
+                                      weights=self.weights)
+            return plan.order, {}
+        plan = greedy_order(query, stats, optimizer, mode=mode, eps=self.eps,
+                            weights=self.weights)
+        return plan.order, {}
+
+    def _cost(self, query, stats, order, mode, flat_output):
+        return plan_cost(query, stats, order, mode, eps=self.eps,
+                         flat_output=flat_output).total(self.weights)
+
+    def plan(
+        self,
+        query,
+        mode="auto",
+        optimizer="exhaustive",
+        driver="fixed",
+        stats="exact",
+        flat_output=True,
+    ):
+        """Build a :class:`PhysicalPlan`.
+
+        Parameters
+        ----------
+        query:
+            SQL text, a :class:`ParsedQuery`, or a rooted
+            :class:`JoinQuery`.
+        mode:
+            One of the six :class:`ExecutionMode` values, or ``"auto"``
+            to let the cost model choose the cheapest strategy.
+        optimizer:
+            ``"exhaustive"`` (Algorithm 1) or a greedy heuristic name.
+        driver:
+            ``"fixed"`` keeps the given rooting; ``"auto"`` tries every
+            relation as the driver and keeps the cheapest plan.
+        stats:
+            ``"exact"``, ``"sampling"``, or a prebuilt
+            :class:`QueryStats`.
+        """
+        if optimizer not in self.OPTIMIZERS:
+            raise ValueError(
+                f"optimizer must be one of {self.OPTIMIZERS}, got {optimizer!r}"
+            )
+        catalog = self.catalog
+        if isinstance(query, str):
+            query = parse_query(query)
+        if isinstance(query, ParsedQuery):
+            catalog = push_down_selections(catalog, query)
+            join_query = query.to_join_query()
+        elif isinstance(query, JoinQuery):
+            join_query = query
+        else:
+            raise TypeError(
+                f"query must be SQL text, ParsedQuery or JoinQuery; "
+                f"got {type(query).__name__}"
+            )
+
+        drivers = (
+            join_query.relations if driver == "auto" else [join_query.root]
+        )
+        modes = (
+            ExecutionMode.all_modes()
+            if mode == "auto"
+            else [ExecutionMode(mode)]
+        )
+        best = None
+        for root in drivers:
+            rooted = join_query.rerooted(root)
+            rooted_stats = self.derive_stats(catalog, rooted, stats)
+            for candidate_mode in modes:
+                order, child_orders = self._order_for_mode(
+                    rooted, rooted_stats, candidate_mode, optimizer
+                )
+                cost = self._cost(rooted, rooted_stats, order,
+                                  candidate_mode, flat_output)
+                if best is None or cost < best.predicted_cost:
+                    best = PhysicalPlan(
+                        catalog=catalog,
+                        query=rooted,
+                        order=order,
+                        mode=candidate_mode,
+                        stats=rooted_stats,
+                        predicted_cost=cost,
+                        child_orders=child_orders,
+                        weights=self.weights,
+                    )
+        return best

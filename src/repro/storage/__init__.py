@@ -1,0 +1,23 @@
+"""Columnar storage substrate: vectors, chunks, tables, hash indexes."""
+
+from .chunk import DEFAULT_CHUNK_SIZE, DataChunk, iter_chunks
+from .column import VectorColumn
+from .hashindex import HashIndex, LookupResult, concat_ranges
+from .io import load_catalog, save_catalog, table_from_csv, table_to_csv
+from .table import Catalog, Table
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "Catalog",
+    "DataChunk",
+    "HashIndex",
+    "LookupResult",
+    "Table",
+    "VectorColumn",
+    "concat_ranges",
+    "iter_chunks",
+    "load_catalog",
+    "save_catalog",
+    "table_from_csv",
+    "table_to_csv",
+]

@@ -1,0 +1,112 @@
+"""DataChunk: a batch of tuples stored column-wise.
+
+A :class:`DataChunk` is the unit of data flow between operators in the
+vectorized engine (Section 4.2).  For base relations and STD
+intermediates every column has the same length; for COM intermediates
+columns belonging to different join-tree nodes have different lengths
+(the factorized representation, handled by
+:mod:`repro.engine.factorized`, stores those per-node arrays itself and
+only uses chunks for base-table scans and flat output).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .column import VectorColumn
+
+__all__ = ["DataChunk", "DEFAULT_CHUNK_SIZE"]
+
+#: Default vector size, following the paper's prototype (Section 5).
+DEFAULT_CHUNK_SIZE = 2048
+
+
+class DataChunk:
+    """An ordered mapping of column name -> :class:`VectorColumn`.
+
+    All columns in a flat chunk must have equal length.  Chunks are
+    cheap, mutable containers; operators create new chunks rather than
+    mutating inputs (except for selection-vector updates).
+    """
+
+    __slots__ = ("columns",)
+
+    def __init__(self, columns=None):
+        self.columns = {}
+        if columns:
+            for name, col in columns.items():
+                self.add_column(name, col)
+
+    def add_column(self, name, column):
+        """Attach a column; wraps raw arrays in :class:`VectorColumn`."""
+        if not isinstance(column, VectorColumn):
+            column = VectorColumn(column)
+        if self.columns:
+            n = len(next(iter(self.columns.values())))
+            if len(column) != n:
+                raise ValueError(
+                    f"column {name!r} has length {len(column)}, chunk has {n}"
+                )
+        self.columns[name] = column
+
+    def column(self, name):
+        """Look up a column by name."""
+        return self.columns[name]
+
+    def __contains__(self, name):
+        return name in self.columns
+
+    def __len__(self):
+        """Number of rows (0 for an empty chunk)."""
+        if not self.columns:
+            return 0
+        return len(next(iter(self.columns.values())))
+
+    @property
+    def column_names(self):
+        return list(self.columns)
+
+    def __repr__(self):
+        return f"DataChunk(rows={len(self)}, columns={self.column_names})"
+
+    def take(self, positions):
+        """Gather a new chunk of the given row positions."""
+        positions = np.asarray(positions, dtype=np.int64)
+        return DataChunk(
+            {name: col.take(positions) for name, col in self.columns.items()}
+        )
+
+    def to_rows(self):
+        """Materialize as a list of tuples (test/debug helper)."""
+        if not self.columns:
+            return []
+        cols = [col.values for col in self.columns.values()]
+        return list(zip(*(c.tolist() for c in cols)))
+
+    @classmethod
+    def from_rows(cls, names, rows):
+        """Build a chunk from row tuples (test/debug helper)."""
+        if rows:
+            arrays = [np.asarray(col) for col in zip(*rows)]
+        else:
+            arrays = [np.empty(0, dtype=np.int64) for _ in names]
+        chunk = cls()
+        for name, arr in zip(names, arrays):
+            chunk.add_column(name, VectorColumn(arr))
+        return chunk
+
+
+def iter_chunks(table_columns, chunk_size=DEFAULT_CHUNK_SIZE):
+    """Yield :class:`DataChunk` batches over aligned column arrays.
+
+    ``table_columns`` is a mapping of name -> numpy array; all arrays
+    must have the same length.
+    """
+    if not table_columns:
+        return
+    n = len(next(iter(table_columns.values())))
+    for start in range(0, n, chunk_size):
+        stop = min(start + chunk_size, n)
+        yield DataChunk(
+            {name: VectorColumn(arr[start:stop]) for name, arr in table_columns.items()}
+        )

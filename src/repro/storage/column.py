@@ -1,0 +1,109 @@
+"""Columnar vector storage.
+
+This module provides :class:`VectorColumn`, the smallest unit of data in
+the engine, mirroring DuckDB-style vectors described in Section 4.2 of
+the paper.  A vector holds a contiguous ``numpy`` array of values and an
+optional *selection vector*: a boolean mask that marks which entries
+participate in subsequent joins (entries whose selection bit is cleared
+have been eliminated by a failed probe but are kept in place so that the
+factorized representation stays positionally aligned).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["VectorColumn"]
+
+
+class VectorColumn:
+    """A typed column of values with an optional selection vector.
+
+    Parameters
+    ----------
+    values:
+        Any 1-D array-like.  Integer data is stored as ``int64``; other
+        dtypes (floats, strings via ``object``) are preserved.
+    selection:
+        Optional boolean mask of the same length.  ``None`` means "all
+        selected".  The mask is materialized lazily by
+        :meth:`ensure_selection`.
+    """
+
+    __slots__ = ("values", "selection")
+
+    def __init__(self, values, selection=None):
+        arr = np.asarray(values)
+        if arr.ndim != 1:
+            raise ValueError(f"VectorColumn requires 1-D data, got shape {arr.shape}")
+        if np.issubdtype(arr.dtype, np.integer):
+            arr = arr.astype(np.int64, copy=False)
+        self.values = arr
+        if selection is not None:
+            selection = np.asarray(selection, dtype=bool)
+            if selection.shape != arr.shape:
+                raise ValueError(
+                    f"selection shape {selection.shape} != values shape {arr.shape}"
+                )
+        self.selection = selection
+
+    def __len__(self):
+        return len(self.values)
+
+    def __repr__(self):
+        sel = "all" if self.selection is None else int(self.selection.sum())
+        return f"VectorColumn(n={len(self)}, selected={sel}, dtype={self.values.dtype})"
+
+    def __eq__(self, other):
+        if not isinstance(other, VectorColumn):
+            return NotImplemented
+        if len(self) != len(other):
+            return False
+        return bool(
+            np.array_equal(self.values, other.values)
+            and np.array_equal(self.selection_mask(), other.selection_mask())
+        )
+
+    def ensure_selection(self):
+        """Materialize the selection vector (all-true) if absent."""
+        if self.selection is None:
+            self.selection = np.ones(len(self.values), dtype=bool)
+        return self.selection
+
+    def selection_mask(self):
+        """Return the effective boolean mask without mutating the column."""
+        if self.selection is None:
+            return np.ones(len(self.values), dtype=bool)
+        return self.selection
+
+    @property
+    def num_selected(self):
+        """Number of entries that still participate in joins."""
+        if self.selection is None:
+            return len(self.values)
+        return int(self.selection.sum())
+
+    def selected_values(self):
+        """Values whose selection bit is set, in positional order."""
+        if self.selection is None:
+            return self.values
+        return self.values[self.selection]
+
+    def selected_indices(self):
+        """Positions whose selection bit is set."""
+        if self.selection is None:
+            return np.arange(len(self.values))
+        return np.nonzero(self.selection)[0]
+
+    def deselect(self, positions):
+        """Clear the selection bit at ``positions`` (array of indices)."""
+        self.ensure_selection()[np.asarray(positions, dtype=np.int64)] = False
+
+    def take(self, positions):
+        """Gather a new column at ``positions`` (selection not carried)."""
+        return VectorColumn(self.values[np.asarray(positions, dtype=np.int64)])
+
+    def copy(self):
+        """Deep copy of values and selection."""
+        sel = None if self.selection is None else self.selection.copy()
+        return VectorColumn(self.values.copy(), sel)

@@ -1,0 +1,93 @@
+"""Catalog persistence: CSV tables plus a JSON schema manifest.
+
+A saved catalog is a directory containing one ``<table>.csv`` per table
+and a ``catalog.json`` manifest recording table order, column order and
+dtypes, so a round trip is exact.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .table import Catalog, Table
+
+__all__ = ["save_catalog", "load_catalog", "table_to_csv", "table_from_csv"]
+
+_MANIFEST = "catalog.json"
+
+
+def table_to_csv(table, path):
+    """Write one table as CSV with a header row."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.column_names)
+        columns = [table.column(name) for name in table.column_names]
+        for row in zip(*(col.tolist() for col in columns)):
+            writer.writerow(row)
+
+
+def table_from_csv(name, path, dtypes=None):
+    """Read one table from CSV; ``dtypes`` maps column -> numpy dtype."""
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path} is empty (missing header)") from None
+        rows = list(reader)
+    columns = {}
+    for index, column in enumerate(header):
+        raw = [row[index] for row in rows]
+        dtype = (dtypes or {}).get(column, "int64")
+        columns[column] = np.asarray(raw, dtype=np.dtype(dtype))
+    return Table(name, columns)
+
+
+def save_catalog(catalog, directory):
+    """Persist every table of ``catalog`` under ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest = {"tables": []}
+    for name in catalog.table_names:
+        table = catalog.table(name)
+        table_to_csv(table, directory / f"{name}.csv")
+        manifest["tables"].append(
+            {
+                "name": name,
+                "rows": table.num_rows,
+                "columns": [
+                    {"name": col, "dtype": str(table.column(col).dtype)}
+                    for col in table.column_names
+                ],
+            }
+        )
+    (directory / _MANIFEST).write_text(json.dumps(manifest, indent=2))
+    return directory
+
+
+def load_catalog(directory):
+    """Load a catalog previously written by :func:`save_catalog`."""
+    directory = Path(directory)
+    manifest_path = directory / _MANIFEST
+    if not manifest_path.exists():
+        raise FileNotFoundError(f"no {_MANIFEST} in {directory}")
+    manifest = json.loads(manifest_path.read_text())
+    catalog = Catalog()
+    for entry in manifest["tables"]:
+        dtypes = {col["name"]: col["dtype"] for col in entry["columns"]}
+        table = table_from_csv(
+            entry["name"], directory / f"{entry['name']}.csv", dtypes
+        )
+        if table.num_rows != entry["rows"]:
+            raise ValueError(
+                f"table {entry['name']!r}: manifest says {entry['rows']} "
+                f"rows, CSV has {table.num_rows}"
+            )
+        catalog.add(table)
+    return catalog

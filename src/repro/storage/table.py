@@ -1,0 +1,140 @@
+"""In-memory tables and the catalog.
+
+A :class:`Table` is a named collection of equal-length numpy columns.
+Row identity is positional (the implicit ID column of Section 4.2); the
+engine passes row-index arrays around instead of copying payloads.  The
+:class:`Catalog` owns tables and caches per-attribute hash indexes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .chunk import DEFAULT_CHUNK_SIZE, iter_chunks
+from .hashindex import HashIndex
+
+__all__ = ["Table", "Catalog"]
+
+
+class Table:
+    """A named, immutable-by-convention columnar table."""
+
+    def __init__(self, name, columns):
+        if not columns:
+            raise ValueError(f"table {name!r} must have at least one column")
+        self.name = name
+        self.columns = {}
+        n = None
+        for col_name, values in columns.items():
+            arr = np.asarray(values)
+            if np.issubdtype(arr.dtype, np.integer):
+                arr = arr.astype(np.int64, copy=False)
+            if arr.ndim != 1:
+                raise ValueError(f"column {col_name!r} must be 1-D")
+            if n is None:
+                n = len(arr)
+            elif len(arr) != n:
+                raise ValueError(
+                    f"column {col_name!r} has length {len(arr)}, expected {n}"
+                )
+            self.columns[col_name] = arr
+        self.num_rows = n
+
+    def __len__(self):
+        return self.num_rows
+
+    def __repr__(self):
+        return f"Table({self.name!r}, rows={self.num_rows}, columns={list(self.columns)})"
+
+    def column(self, name):
+        """Return the raw numpy array for a column."""
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise KeyError(
+                f"table {self.name!r} has no column {name!r}; "
+                f"available: {list(self.columns)}"
+            ) from None
+
+    @property
+    def column_names(self):
+        return list(self.columns)
+
+    def distinct_count(self, column):
+        """Number of distinct values in ``column`` (V(A, R) in the paper)."""
+        return int(len(np.unique(self.column(column))))
+
+    def chunks(self, chunk_size=DEFAULT_CHUNK_SIZE):
+        """Iterate over the table as DataChunks."""
+        return iter_chunks(self.columns, chunk_size)
+
+    def gather(self, rows, columns=None):
+        """Return {column: values[rows]} for the given row indices."""
+        rows = np.asarray(rows, dtype=np.int64)
+        names = columns if columns is not None else self.column_names
+        return {name: self.columns[name][rows] for name in names}
+
+
+class Catalog:
+    """A registry of tables with cached hash indexes.
+
+    Hash indexes are keyed by ``(table_name, attribute)`` and built
+    lazily on first use, mirroring the build phase of a hash join.  The
+    cache can be restricted to a subset of rows (used by semi-join
+    reduction, which probes reduced relations).
+    """
+
+    def __init__(self):
+        self._tables = {}
+        self._indexes = {}
+
+    def add(self, table):
+        """Register a table (replacing any previous table of that name)."""
+        if not isinstance(table, Table):
+            raise TypeError(f"expected Table, got {type(table).__name__}")
+        self._tables[table.name] = table
+        # Invalidate any cached indexes for the replaced table.
+        self._indexes = {
+            key: idx for key, idx in self._indexes.items() if key[0] != table.name
+        }
+        return table
+
+    def add_table(self, name, columns):
+        """Convenience: build and register a Table from raw columns."""
+        return self.add(Table(name, columns))
+
+    def table(self, name):
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise KeyError(
+                f"no table named {name!r}; available: {list(self._tables)}"
+            ) from None
+
+    def __contains__(self, name):
+        return name in self._tables
+
+    @property
+    def table_names(self):
+        return list(self._tables)
+
+    def hash_index(self, table_name, attribute):
+        """Return (building if necessary) the hash index on an attribute."""
+        key = (table_name, attribute)
+        index = self._indexes.get(key)
+        if index is None:
+            table = self.table(table_name)
+            index = HashIndex(table.column(attribute))
+            self._indexes[key] = index
+        return index
+
+    def invalidate_indexes(self, table_name=None):
+        """Drop cached indexes (all, or for one table)."""
+        if table_name is None:
+            self._indexes.clear()
+        else:
+            self._indexes = {
+                key: idx
+                for key, idx in self._indexes.items()
+                if key[0] != table_name
+            }

@@ -1,0 +1,86 @@
+"""Random join trees and statistics for the optimizer study (Figure 10).
+
+Section 5.1: join trees with up to 20 nodes; the root has 2-5 children,
+every other node 0-3 children; fanouts uniform in [1, 10] and match
+probabilities uniform in one of four ranges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.query import JoinEdge, JoinQuery
+from ..core.stats import EdgeStats, QueryStats
+
+__all__ = [
+    "random_join_tree",
+    "random_stats",
+    "MATCH_PROBABILITY_RANGES",
+    "DEFAULT_FANOUT_RANGE",
+]
+
+#: the four match-probability ranges used throughout the evaluation
+MATCH_PROBABILITY_RANGES = [
+    (0.05, 0.2),
+    (0.05, 0.5),
+    (0.1, 0.5),
+    (0.5, 0.9),
+]
+
+DEFAULT_FANOUT_RANGE = (1.0, 10.0)
+
+
+def random_join_tree(
+    max_nodes=20,
+    root_children_range=(2, 5),
+    node_children_range=(0, 3),
+    seed=0,
+):
+    """A random join tree following the Figure 10 construction.
+
+    Nodes are expanded breadth-first: the root draws its child count
+    from ``root_children_range``, other nodes from
+    ``node_children_range``; expansion stops when ``max_nodes`` is
+    reached.  The tree has at least two nodes.
+    """
+    rng = np.random.default_rng(seed)
+    root = "R0"
+    edges = []
+    next_id = 1
+    frontier = [root]
+    while frontier and next_id < max_nodes:
+        node = frontier.pop(0)
+        if node == root:
+            lo, hi = root_children_range
+        else:
+            lo, hi = node_children_range
+        num_children = int(rng.integers(lo, hi + 1))
+        num_children = min(num_children, max_nodes - next_id)
+        for _ in range(num_children):
+            child = f"R{next_id}"
+            next_id += 1
+            edges.append(JoinEdge(node, child, f"k_{child}", "k"))
+            frontier.append(child)
+    if not edges:
+        # Guarantee a non-trivial query even for adversarial draws.
+        edges.append(JoinEdge(root, "R1", "k_R1", "k"))
+    return JoinQuery(root, edges)
+
+
+def random_stats(
+    query,
+    m_range,
+    fo_range=DEFAULT_FANOUT_RANGE,
+    driver_size=1.0,
+    seed=0,
+):
+    """Uniform-random :class:`QueryStats` for every edge of ``query``."""
+    rng = np.random.default_rng(seed)
+    edge_stats = {
+        relation: EdgeStats(
+            m=float(rng.uniform(*m_range)),
+            fo=float(rng.uniform(*fo_range)),
+        )
+        for relation in query.non_root_relations
+    }
+    return QueryStats(driver_size, edge_stats)

@@ -1,0 +1,135 @@
+"""Query-shape builders for the synthetic benchmark (Section 5.2).
+
+The paper evaluates four shapes spanning the practical spectrum:
+
+* a 7-relation **star** query (driver + 6 dimensions),
+* an 11-relation **path** query with the centre relation as driver
+  (two arms of five relations each),
+* a **3-2 snowflake** (driver with 3 children, each with 2 children),
+* a **5-1 snowflake** (driver with 5 children, each with 1 child).
+
+Conventions: the driver is ``R0``; a child's join column is ``k`` and
+the parent-side column is ``k_<child>``; every relation carries a
+``payload`` column.
+"""
+
+from __future__ import annotations
+
+from ..core.query import JoinEdge, JoinQuery
+
+__all__ = [
+    "star",
+    "path",
+    "snowflake",
+    "paper_star7",
+    "paper_path11",
+    "paper_snowflake_3_2",
+    "paper_snowflake_5_1",
+    "PAPER_SHAPES",
+]
+
+
+def _edge(parent, child):
+    return JoinEdge(parent, child, f"k_{child}", "k")
+
+
+def star(num_dimensions, driver="R0"):
+    """Driver joined with ``num_dimensions`` independent dimensions."""
+    if num_dimensions < 1:
+        raise ValueError("a star query needs at least one dimension")
+    edges = [_edge(driver, f"R{i}") for i in range(1, num_dimensions + 1)]
+    return JoinQuery(driver, edges)
+
+
+def path(num_relations, driver_position=None, driver="R0"):
+    """A path of ``num_relations`` relations.
+
+    ``driver_position`` selects which relation on the path drives the
+    plan (0-based; default: the middle, as in the paper's 11-relation
+    path query, giving two arms).
+    """
+    if num_relations < 2:
+        raise ValueError("a path query needs at least two relations")
+    if driver_position is None:
+        driver_position = num_relations // 2
+    if not 0 <= driver_position < num_relations:
+        raise ValueError(
+            f"driver_position {driver_position} out of range "
+            f"[0, {num_relations})"
+        )
+    # Build the chain positionally, then re-root at the driver position.
+    positional = [f"P{i}" for i in range(num_relations)]
+    edges = [
+        JoinEdge(positional[i], positional[i + 1], f"k_{positional[i+1]}", "k")
+        for i in range(num_relations - 1)
+    ]
+    chain = JoinQuery(positional[0], edges)
+    rooted = chain.rerooted(positional[driver_position])
+    return _rename(rooted, driver)
+
+
+def snowflake(num_children, num_grandchildren, driver="R0"):
+    """Driver with ``num_children`` children, each with its own children.
+
+    ``snowflake(3, 2)`` is the paper's 3-2 snowflake;
+    ``snowflake(5, 1)`` is the 5-1 snowflake.
+    """
+    if num_children < 1:
+        raise ValueError("a snowflake needs at least one child")
+    if num_grandchildren < 0:
+        raise ValueError("num_grandchildren must be non-negative")
+    edges = []
+    next_id = 1
+    for _ in range(num_children):
+        child = f"R{next_id}"
+        next_id += 1
+        edges.append(_edge(driver, child))
+        for _ in range(num_grandchildren):
+            grandchild = f"R{next_id}"
+            next_id += 1
+            edges.append(_edge(child, grandchild))
+    return JoinQuery(driver, edges)
+
+
+def _rename(query, driver):
+    """Rename relations to R0 (driver), R1, ... in pre-order."""
+    mapping = {}
+    for i, relation in enumerate(query.preorder()):
+        mapping[relation] = driver if i == 0 else f"R{i}"
+    edges = [
+        JoinEdge(
+            mapping[e.parent], mapping[e.child],
+            f"k_{mapping[e.child]}", "k",
+        )
+        for e in query.edges
+    ]
+    return JoinQuery(mapping[query.root], edges)
+
+
+def paper_star7():
+    """The 7-relation star query of Section 5.2."""
+    return star(6)
+
+
+def paper_path11():
+    """The 11-relation path query (centre relation as driver)."""
+    return path(11)
+
+
+def paper_snowflake_3_2():
+    """The 3-2 snowflake query."""
+    return snowflake(3, 2)
+
+
+def paper_snowflake_5_1():
+    """The 5-1 snowflake query."""
+    return snowflake(5, 1)
+
+
+#: the four evaluation shapes, keyed as the paper labels them
+PAPER_SHAPES = {
+    "star": paper_star7,
+    "path": paper_path11,
+    "snowflake_3_2": paper_snowflake_3_2,
+    "snowflake_5_1": paper_snowflake_5_1,
+}

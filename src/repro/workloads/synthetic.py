@@ -1,0 +1,198 @@
+"""Synthetic data generation with controlled match probabilities/fanouts.
+
+The synthetic benchmark of Section 5.2 needs relations whose per-edge
+match probability ``m`` and fanout ``fo`` are dialed in exactly, plus
+(for Section 5.6 / Figure 15) fanout distributions with controllable
+skew (truncated normal, exponential).
+
+Generation scheme, per edge ``p -> c`` processed in pre-order:
+
+* the parent-side join column takes values from a key domain of size
+  ``D`` spread uniformly over parent tuples (``D`` defaults to one key
+  per tuple; it is reduced automatically to respect
+  ``max_relation_size``, which bounds the multiplicative growth of
+  child relations without changing per-tuple statistics);
+* a fraction ``m`` of the keys is *matched*: the child contains
+  ``fo_i`` tuples for matched key ``i``, with ``fo_i`` drawn from the
+  configured fanout distribution (mean ``fo``);
+* a ``dangling_fraction`` of extra child tuples carries keys outside
+  the parent's domain, so child relations contain dangling tuples for
+  the semi-join pass to remove.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..storage.table import Catalog
+
+__all__ = ["EdgeSpec", "SyntheticDataset", "generate_dataset", "specs_from_ranges"]
+
+
+@dataclass(frozen=True)
+class EdgeSpec:
+    """Generation parameters for one parent->child join edge."""
+
+    m: float
+    fo: float
+    fanout_dist: str = "constant"  # "constant" | "normal" | "exponential"
+    fanout_sigma: float = 0.0  # stddev of the truncated normal
+    dangling_fraction: float = 0.1
+    distinct_parent_keys: int = None
+
+    def __post_init__(self):
+        if not 0.0 <= self.m <= 1.0:
+            raise ValueError(f"m must be in [0, 1], got {self.m}")
+        if self.fo < 1.0:
+            raise ValueError(f"fo must be >= 1, got {self.fo}")
+        if self.fanout_dist not in ("constant", "normal", "exponential"):
+            raise ValueError(f"unknown fanout_dist {self.fanout_dist!r}")
+
+
+@dataclass
+class SyntheticDataset:
+    """A generated catalog plus the design parameters that produced it."""
+
+    catalog: Catalog
+    query: object
+    edge_specs: dict
+    relation_sizes: dict = field(default_factory=dict)
+
+
+def _draw_fanouts(spec, num_keys, rng):
+    """Integer fanouts (>= 1) with mean ``spec.fo``."""
+    fo = spec.fo
+    if spec.fanout_dist == "constant":
+        base = int(np.floor(fo))
+        frac = fo - base
+        fanouts = np.full(num_keys, base, dtype=np.int64)
+        if frac > 0:
+            fanouts += rng.random(num_keys) < frac
+        return np.maximum(fanouts, 1)
+    if spec.fanout_dist == "normal":
+        # Truncated normal on [1, 2*fo - 1], as in Section 5.6.
+        low, high = 1.0, max(2.0 * fo - 1.0, 1.0)
+        values = rng.normal(fo, max(spec.fanout_sigma, 1e-9), num_keys)
+        values = np.clip(values, low, high)
+        return np.maximum(np.rint(values).astype(np.int64), 1)
+    # Exponential with mean fo: 1 + Exp(fo - 1), highly skewed.
+    if fo <= 1.0:
+        return np.ones(num_keys, dtype=np.int64)
+    values = 1.0 + rng.exponential(fo - 1.0, num_keys)
+    return np.maximum(np.rint(values).astype(np.int64), 1)
+
+
+def _parent_key_column(num_rows, num_keys, rng):
+    """Spread ``num_keys`` distinct keys uniformly over ``num_rows``."""
+    keys = np.arange(num_rows, dtype=np.int64) % num_keys
+    rng.shuffle(keys)
+    return keys
+
+
+def generate_dataset(
+    query,
+    driver_size,
+    edge_specs,
+    seed=0,
+    max_relation_size=2_000_000,
+):
+    """Generate a catalog whose joins realize the per-edge specs.
+
+    Parameters
+    ----------
+    query:
+        The rooted :class:`~repro.core.query.JoinQuery`; column names
+        must follow the edge attributes (the :mod:`shapes` builders'
+        convention ``k_<child>`` / ``k`` works out of the box).
+    edge_specs:
+        Mapping child-relation name -> :class:`EdgeSpec`.
+    max_relation_size:
+        Cap on matched-child cardinality; when ``m * D * fo`` would
+        exceed it, the parent key-domain size ``D`` is reduced (key
+        sharing), leaving per-tuple statistics unchanged.
+    """
+    rng = np.random.default_rng(seed)
+    catalog = Catalog()
+    columns_by_relation = {
+        query.root: {"payload": np.arange(driver_size, dtype=np.int64)}
+    }
+    sizes = {query.root: int(driver_size)}
+
+    for relation in query.preorder():
+        if relation == query.root:
+            continue
+        edge = query.edge_to(relation)
+        spec = edge_specs[relation]
+        parent_size = sizes[edge.parent]
+        num_keys = spec.distinct_parent_keys or parent_size
+        num_keys = min(num_keys, parent_size) or 1
+        expected_child = spec.m * num_keys * spec.fo
+        if max_relation_size and expected_child > max_relation_size:
+            num_keys = max(1, int(max_relation_size / max(spec.m * spec.fo, 1e-9)))
+        parent_keys = _parent_key_column(parent_size, num_keys, rng)
+        columns_by_relation[edge.parent][edge.parent_attr] = parent_keys
+
+        num_matched = int(round(spec.m * num_keys))
+        matched_keys = rng.choice(num_keys, size=num_matched, replace=False)
+        fanouts = _draw_fanouts(spec, num_matched, rng)
+        child_keys = np.repeat(matched_keys, fanouts)
+        num_dangling = int(round(spec.dangling_fraction * len(child_keys)))
+        if num_dangling:
+            dangling = num_keys + rng.integers(
+                0, max(num_dangling, 1), size=num_dangling
+            )
+            child_keys = np.concatenate((child_keys, dangling))
+        rng.shuffle(child_keys)
+        child_size = len(child_keys)
+        columns_by_relation[relation] = {
+            edge.child_attr: child_keys,
+            "payload": np.arange(child_size, dtype=np.int64),
+        }
+        sizes[relation] = child_size
+
+    for relation, columns in columns_by_relation.items():
+        if not columns or len(next(iter(columns.values()))) == 0:
+            # Degenerate empty relation: keep a single dangling tuple so
+            # hash builds stay well-defined (it matches nothing).
+            columns = {name: np.asarray([-1]) for name in columns} or {
+                "payload": np.asarray([-1])
+            }
+            sizes[relation] = 1
+        catalog.add_table(relation, columns)
+
+    return SyntheticDataset(
+        catalog=catalog,
+        query=query,
+        edge_specs=dict(edge_specs),
+        relation_sizes=sizes,
+    )
+
+
+def specs_from_ranges(
+    query,
+    m_range,
+    fo_range,
+    seed=0,
+    fanout_dist="constant",
+    fanout_sigma=0.0,
+    dangling_fraction=0.1,
+):
+    """Draw one :class:`EdgeSpec` per edge uniformly from the ranges.
+
+    This mirrors the paper's synthetic benchmark setup: match
+    probabilities uniform in ``m_range`` (for example ``[0.05, 0.2]``)
+    and fanouts uniform in ``fo_range`` (``[1, 10]``).
+    """
+    rng = np.random.default_rng(seed)
+    specs = {}
+    for relation in query.non_root_relations:
+        specs[relation] = EdgeSpec(
+            m=float(rng.uniform(*m_range)),
+            fo=float(rng.uniform(*fo_range)),
+            fanout_dist=fanout_dist,
+            fanout_sigma=fanout_sigma,
+            dangling_fraction=dangling_fraction,
+        )
+    return specs

@@ -1,0 +1,30 @@
+"""The ``python -m repro.bench`` CLI."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.bench.__main__ import main
+
+
+def test_requires_an_argument(capsys):
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_unknown_figure_rejected():
+    with pytest.raises(SystemExit):
+        main(["--figure", "99"])
+
+
+def test_figure_13_via_subprocess():
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro.bench", "--figure", "13"],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0
+    assert "Figure 13" in completed.stdout
+    assert "estimated_cost" in completed.stdout

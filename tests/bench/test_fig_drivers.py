@@ -1,0 +1,82 @@
+"""Smoke tests: every figure driver runs at tiny scale and returns
+well-formed rows.  Full-scale runs live in benchmarks/."""
+
+import math
+
+from repro.bench import FIGURES, fig04, fig06, fig10, fig11, fig12, fig13, fig14, fig15, fig16
+
+
+def test_registry_covers_all_figures():
+    assert sorted(FIGURES, key=int) == ["4", "6", "10", "11", "12", "13",
+                                        "14", "15", "16"]
+
+
+def test_fig04_tiny():
+    rows = fig04.run(num_tasks=12, scale=0.5, seed=1)
+    assert rows
+    for row in rows:
+        assert row["avg_q_error"] >= 1.0
+        assert row["quantity"] in ("match_prob", "fanout")
+
+
+def test_fig06_tiny():
+    rows = fig06.run(num_samples=5, num_dimensions=5, seed=1)
+    assert len(rows) == 2 * 2 * 3 * 2  # errors x m-ranges x fo-ranges x models
+    for row in rows:
+        assert row["mean_pct_diff"] >= -1e-9
+
+
+def test_fig10_tiny():
+    rows = fig10.run(num_trees=4, max_nodes=8, seed=1)
+    assert len(rows) == 4 * 3
+    for row in rows:
+        assert row["median_ratio"] >= 1.0 - 1e-9
+
+
+def test_fig11_tiny():
+    rows = fig11.run(driver_size=800, shapes=["star"],
+                     m_ranges=[(0.1, 0.5)], seed=1)
+    assert len(rows) == 2 * 6  # flat/factorized x 6 modes
+    com_rows = [r for r in rows if r["mode"] == "COM"]
+    for row in com_rows:
+        assert row["rel_time"] == 1.0 or math.isnan(row["rel_time"])
+
+
+def test_fig12_tiny():
+    rows = fig12.run(datasets=["epinions"], num_queries=2, scale=0.15,
+                     seed=1, max_expected_output=50_000.0)
+    assert len(rows) == 6
+    assert {row["dataset"] for row in rows} == {"epinions"}
+
+
+def test_fig13_tiny():
+    rows = fig13.run(driver_size=1000, fanouts=(2.0,), m_values=[0.2, 0.8])
+    assert len(rows) == 4 * 1 * 2 * 5
+    for row in rows:
+        assert row["estimated_cost"] > 0
+
+
+def test_fig14_tiny():
+    summary, scatter = fig14.run(driver_size=1500, orders_per_query=5,
+                                 seed=1)
+    assert summary[-1]["shape"] == "ALL"
+    assert len(scatter) == 4 * 5
+
+
+def test_fig15_tiny():
+    rows = fig15.run(driver_size=1200, normal_sigmas=(2.0,),
+                     exponential_means=(5.0,), seed=1)
+    assert len(rows) == 2
+    for row in rows:
+        assert 0.5 < row["probe_ratio"] < 1.5
+
+
+def test_fig16_tiny():
+    rows = fig16.run(driver_size=800, num_orders=3, seed=1,
+                     ce_datasets=("epinions",), ce_scale=0.15,
+                     metric="weighted_cost")
+    queries = {row["query"] for row in rows}
+    assert len(queries) == 5  # 4 synthetic cases + 1 CE dataset
+    for row in rows:
+        if not math.isnan(row["norm_min"]):
+            assert 0.0 < row["norm_min"] <= 1.0 + 1e-9

@@ -1,0 +1,77 @@
+"""Unit tests for the bench runner helpers."""
+
+import math
+
+import pytest
+
+from repro.bench.runner import (
+    ModeRun,
+    geometric_mean,
+    relative_to,
+    render_table,
+    run_all_modes,
+)
+from repro.modes import ExecutionMode
+
+from ..conftest import make_running_example_query, make_small_catalog
+
+
+def test_run_all_modes_produces_all_entries():
+    catalog = make_small_catalog()
+    query = make_running_example_query()
+    runs = run_all_modes(catalog, query, ["R2", "R3", "R4", "R5", "R6"])
+    assert set(runs) == set(ExecutionMode.all_modes())
+    sizes = {run.output_size for run in runs.values()}
+    assert len(sizes) == 1
+
+
+def test_run_all_modes_budget_becomes_timeout():
+    catalog = make_small_catalog()
+    query = make_running_example_query()
+    runs = run_all_modes(catalog, query, ["R2", "R3", "R4", "R5", "R6"],
+                         max_intermediate_tuples=10)
+    assert all(run.timed_out for run in runs.values())
+
+
+def test_relative_to_normalizes():
+    runs = {
+        ExecutionMode.COM: ModeRun(ExecutionMode.COM, wall_time=2.0),
+        ExecutionMode.STD: ModeRun(ExecutionMode.STD, wall_time=6.0),
+    }
+    ratios = relative_to(runs)
+    assert ratios[ExecutionMode.COM] == pytest.approx(1.0)
+    assert ratios[ExecutionMode.STD] == pytest.approx(3.0)
+
+
+def test_relative_to_timeout_is_inf():
+    runs = {
+        ExecutionMode.COM: ModeRun(ExecutionMode.COM, wall_time=2.0),
+        ExecutionMode.STD: ModeRun.timeout(ExecutionMode.STD),
+    }
+    ratios = relative_to(runs)
+    assert math.isinf(ratios[ExecutionMode.STD])
+
+
+def test_geometric_mean():
+    assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+    assert math.isnan(geometric_mean([]))
+    assert math.isinf(geometric_mean([1.0, math.inf]))
+    assert geometric_mean([2.0, math.nan]) == pytest.approx(2.0)
+
+
+def test_render_table_formats():
+    rows = [
+        {"a": "x", "b": 1.23456, "c": math.inf},
+        {"a": "longer", "b": math.nan, "c": 2},
+    ]
+    text = render_table(rows, ["a", "b", "c"], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "timeout" in text
+    assert "-" in text  # NaN rendering
+    assert "longer" in text
+
+
+def test_render_table_empty_rows():
+    text = render_table([], ["col1", "col2"])
+    assert "col1" in text

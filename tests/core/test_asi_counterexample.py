@@ -1,0 +1,80 @@
+"""Theorem 3.1: the COM cost function violates the ASI property.
+
+The paper's counterexample: a driver R1 with children R2 and R3; R2 has
+children R4, R5 and R3 has children R6, R7.  All m = 0.5, all fo = 1
+except fo2 and fo3.  The two orders ...->R5->R6 and ...->R6->R5 swap
+two subsequences that any rank function must rank identically (by
+symmetry), yet their costs differ whenever fo2 != fo3 — so no rank
+function can order them, i.e. ASI fails.
+"""
+
+import pytest
+
+from repro.core import EdgeStats, JoinEdge, JoinQuery, QueryStats
+from repro.core.costmodel import com_probes_per_join
+
+
+def _counterexample(fo2, fo3):
+    query = JoinQuery("R1", [
+        JoinEdge("R1", "R2", "a", "a"),
+        JoinEdge("R1", "R3", "b", "b"),
+        JoinEdge("R2", "R4", "c", "c"),
+        JoinEdge("R2", "R5", "d", "d"),
+        JoinEdge("R3", "R6", "e", "e"),
+        JoinEdge("R3", "R7", "f", "f"),
+    ])
+    fo = {"R2": fo2, "R3": fo3, "R4": 1.0, "R5": 1.0, "R6": 1.0, "R7": 1.0}
+    stats = QueryStats(1.0, {
+        rel: EdgeStats(m=0.5, fo=fo[rel]) for rel in fo
+    })
+    return query, stats
+
+
+def _total_cost(query, stats, order):
+    return sum(com_probes_per_join(query, stats, order).values())
+
+
+ORDER_U_FIRST = ["R2", "R3", "R4", "R7", "R5", "R6"]
+ORDER_V_FIRST = ["R2", "R3", "R4", "R7", "R6", "R5"]
+
+
+def test_costs_differ_when_fanouts_differ():
+    query, stats = _counterexample(fo2=2.0, fo3=6.0)
+    cost_u = _total_cost(query, stats, ORDER_U_FIRST)
+    cost_v = _total_cost(query, stats, ORDER_V_FIRST)
+    assert cost_u != pytest.approx(cost_v)
+
+
+def test_preference_flips_with_fanouts():
+    """Which order wins depends on fo2 vs fo3 — fatal for any rank
+    function, which (by the symmetry of U = R5 and V = R6) would have
+    to rank them equal and therefore tie."""
+    query_a, stats_a = _counterexample(fo2=2.0, fo3=6.0)
+    query_b, stats_b = _counterexample(fo2=6.0, fo3=2.0)
+    diff_a = (
+        _total_cost(query_a, stats_a, ORDER_U_FIRST)
+        - _total_cost(query_a, stats_a, ORDER_V_FIRST)
+    )
+    diff_b = (
+        _total_cost(query_b, stats_b, ORDER_U_FIRST)
+        - _total_cost(query_b, stats_b, ORDER_V_FIRST)
+    )
+    assert diff_a * diff_b < 0  # strictly opposite preferences
+
+
+def test_costs_equal_when_symmetric():
+    query, stats = _counterexample(fo2=4.0, fo3=4.0)
+    assert _total_cost(query, stats, ORDER_U_FIRST) == pytest.approx(
+        _total_cost(query, stats, ORDER_V_FIRST)
+    )
+
+
+def test_std_model_is_indifferent_here():
+    """The classical model (probes = prefix product of s) cannot see
+    the difference between the two orders — it satisfies ASI."""
+    from repro.core.costmodel import std_probes_per_join
+
+    query, stats = _counterexample(fo2=2.0, fo3=6.0)
+    cost_u = sum(std_probes_per_join(query, stats, ORDER_U_FIRST).values())
+    cost_v = sum(std_probes_per_join(query, stats, ORDER_V_FIRST).values())
+    assert cost_u == pytest.approx(cost_v)

@@ -1,0 +1,129 @@
+"""Tests for cyclic-query handling via spanning trees."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    execute_cyclic,
+    parse_query,
+    spanning_tree_decomposition,
+)
+from repro.modes import ExecutionMode
+from repro.storage import Catalog
+
+TRIANGLE = (
+    "select * from A, B, C "
+    "where A.x = B.x and B.y = C.y and C.z = A.z"
+)
+
+
+@pytest.fixture
+def triangle_catalog():
+    rng = np.random.default_rng(5)
+    catalog = Catalog()
+    catalog.add_table("A", {"x": rng.integers(0, 6, 30),
+                            "z": rng.integers(0, 6, 30)})
+    catalog.add_table("B", {"x": rng.integers(0, 6, 25),
+                            "y": rng.integers(0, 6, 25)})
+    catalog.add_table("C", {"y": rng.integers(0, 6, 20),
+                            "z": rng.integers(0, 6, 20)})
+    return catalog
+
+
+def brute_force_triangle(catalog):
+    a = catalog.table("A")
+    b = catalog.table("B")
+    c = catalog.table("C")
+    results = []
+    for i in range(len(a)):
+        for j in range(len(b)):
+            if a.column("x")[i] != b.column("x")[j]:
+                continue
+            for k in range(len(c)):
+                if (b.column("y")[j] == c.column("y")[k]
+                        and c.column("z")[k] == a.column("z")[i]):
+                    results.append((i, j, k))
+    return sorted(results)
+
+
+def test_decomposition_extracts_one_residual():
+    parsed = parse_query(TRIANGLE)
+    plan = spanning_tree_decomposition(parsed, driver="A")
+    assert plan.is_cyclic
+    assert len(plan.residuals) == 1
+    assert plan.query.num_relations == 3
+    assert plan.query.root == "A"
+
+
+def test_acyclic_input_has_no_residuals():
+    parsed = parse_query("select * from A, B where A.x = B.x")
+    plan = spanning_tree_decomposition(parsed)
+    assert not plan.is_cyclic
+    assert plan.query.num_relations == 2
+
+
+def test_stats_hint_keeps_selective_edges():
+    parsed = parse_query(TRIANGLE)
+    # Make the A-B edge the least selective: it should become residual.
+    hint = {
+        ("A", "x", "B", "x"): 10.0,
+        ("B", "y", "C", "y"): 0.1,
+        ("C", "z", "A", "z"): 0.2,
+    }
+    plan = spanning_tree_decomposition(parsed, driver="A", stats_hint=hint)
+    residual = plan.residuals[0]
+    assert {residual.relation_a, residual.relation_b} == {"A", "B"}
+
+
+@pytest.mark.parametrize("mode", ExecutionMode.all_modes())
+def test_cyclic_execution_matches_brute_force(triangle_catalog, mode):
+    parsed = parse_query(TRIANGLE)
+    plan = spanning_tree_decomposition(parsed, driver="A")
+    expected = brute_force_triangle(triangle_catalog)
+    size, result, rows = execute_cyclic(
+        triangle_catalog, plan, mode=mode, collect_output=True
+    )
+    assert size == len(expected)
+    got = sorted(zip(rows["A"].tolist(), rows["B"].tolist(),
+                     rows["C"].tolist()))
+    assert got == expected
+
+
+def test_cyclic_execution_counts_without_collection(triangle_catalog):
+    parsed = parse_query(TRIANGLE)
+    plan = spanning_tree_decomposition(parsed, driver="A")
+    expected = brute_force_triangle(triangle_catalog)
+    size, result, rows = execute_cyclic(
+        triangle_catalog, plan, mode=ExecutionMode.COM, collect_output=False
+    )
+    assert size == len(expected)
+    assert rows is None
+
+
+def test_acyclic_through_execute_cyclic(triangle_catalog):
+    parsed = parse_query("select * from A, B where A.x = B.x")
+    plan = spanning_tree_decomposition(parsed, driver="A")
+    size, result, rows = execute_cyclic(
+        triangle_catalog, plan, mode=ExecutionMode.STD, collect_output=True
+    )
+    a = triangle_catalog.table("A").column("x")
+    b = triangle_catalog.table("B").column("x")
+    expected = sum(int((b == value).sum()) for value in a.tolist())
+    assert size == expected
+
+
+def test_disconnected_rejected():
+    parsed = parse_query("select * from A, B, C where A.x = B.x")
+    with pytest.raises(ValueError, match="disconnected"):
+        spanning_tree_decomposition(parsed)
+
+
+def test_larger_cycle_two_residuals():
+    parsed = parse_query(
+        "select * from A, B, C, D "
+        "where A.x = B.x and B.y = C.y and C.z = D.z and D.w = A.w "
+        "and B.v = D.v"
+    )
+    plan = spanning_tree_decomposition(parsed, driver="A")
+    assert len(plan.residuals) == 2
+    assert plan.query.num_relations == 4

@@ -1,0 +1,81 @@
+"""Heterogeneous probe costs (web services / expensive predicates).
+
+The cost model carries a per-operator probe cost ``c_i`` (Section 2.1);
+these tests pin down that the optimizers respect it.
+"""
+
+import pytest
+
+from repro.core import EdgeStats, QueryStats, exhaustive_optimal, greedy_order
+from repro.core.robustness import star_query
+
+
+def _stats(prices=None):
+    return QueryStats(
+        100.0,
+        {
+            "D1": EdgeStats(0.5, 2.0),
+            "D2": EdgeStats(0.5, 2.0),
+            "D3": EdgeStats(0.5, 2.0),
+        },
+        probe_costs=prices or {},
+    )
+
+
+def test_expensive_operator_deferred():
+    """With identical selectivities, the pricey operator goes last:
+    later positions see fewer surviving tuples."""
+    query = star_query(3)
+    plan = exhaustive_optimal(query, _stats({"D2": 100.0}))
+    assert plan.order[-1] == "D2"
+
+
+def test_cheap_operator_first():
+    query = star_query(3)
+    plan = exhaustive_optimal(query, _stats({"D3": 0.01}))
+    assert plan.order[0] == "D3"
+
+
+def test_unit_costs_cost_matches_probe_sum():
+    from repro.core.costmodel import com_probes_per_join
+
+    query = star_query(3)
+    stats = _stats()
+    plan = exhaustive_optimal(query, stats)
+    probes = com_probes_per_join(query, stats, plan.order)
+    assert plan.cost == pytest.approx(sum(probes.values()))
+
+
+def test_priced_cost_is_weighted_probe_sum():
+    from repro.core.costmodel import com_probes_per_join
+
+    prices = {"D1": 2.0, "D2": 5.0, "D3": 0.5}
+    query = star_query(3)
+    stats = _stats(prices)
+    plan = exhaustive_optimal(query, stats)
+    probes = com_probes_per_join(query, stats, plan.order)
+    expected = sum(prices[rel] * p for rel, p in probes.items())
+    assert plan.cost == pytest.approx(expected)
+
+
+def test_rank_heuristic_uses_cost():
+    """Rank ordering sorts by (s - 1) / c: a pricey operator with the
+    same selectivity has a higher (less negative) rank and goes later."""
+    query = star_query(2)
+    stats = QueryStats(10.0, {
+        "D1": EdgeStats(0.5, 1.0),
+        "D2": EdgeStats(0.5, 1.0),
+    }, probe_costs={"D1": 10.0, "D2": 1.0})
+    plan = greedy_order(query, stats, "rank")
+    assert plan.order == ["D2", "D1"]
+
+
+def test_pricing_can_flip_the_optimal_order():
+    query = star_query(2)
+    base = QueryStats(10.0, {
+        "D1": EdgeStats(0.3, 1.0),   # more selective
+        "D2": EdgeStats(0.6, 1.0),
+    })
+    flipped = QueryStats(10.0, base.edge_stats, probe_costs={"D1": 50.0})
+    assert exhaustive_optimal(query, base).order == ["D1", "D2"]
+    assert exhaustive_optimal(query, flipped).order == ["D2", "D1"]

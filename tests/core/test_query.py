@@ -1,0 +1,123 @@
+"""Unit tests for JoinQuery and join orders."""
+
+import numpy as np
+import pytest
+
+from repro.core import JoinEdge, JoinQuery
+
+
+def test_basic_structure(running_example_query):
+    q = running_example_query
+    assert q.root == "R1"
+    assert q.num_relations == 6
+    assert q.parent("R3") == "R2"
+    assert q.parent("R1") is None
+    assert set(q.children("R1")) == {"R2", "R5"}
+    assert q.is_leaf("R3")
+    assert not q.is_leaf("R2")
+
+
+def test_path_and_depth(running_example_query):
+    q = running_example_query
+    assert q.path_to_root("R6") == ["R6", "R5", "R1"]
+    assert q.depth("R1") == 0
+    assert q.depth("R6") == 2
+
+
+def test_subtree_and_traversals(running_example_query):
+    q = running_example_query
+    assert set(q.subtree("R2")) == {"R2", "R3", "R4"}
+    pre = q.preorder()
+    assert pre[0] == "R1"
+    post = q.postorder()
+    assert post[-1] == "R1"
+    for rel in q.relations:
+        if rel != q.root:
+            assert post.index(rel) < post.index(q.parent(rel))
+
+
+def test_internal_relations(running_example_query):
+    assert set(running_example_query.internal_relations()) == {"R1", "R2", "R5"}
+
+
+def test_duplicate_child_rejected():
+    with pytest.raises(ValueError, match="two parents"):
+        JoinQuery("A", [
+            JoinEdge("A", "B", "x", "x"),
+            JoinEdge("A", "B", "y", "y"),
+        ])
+
+
+def test_root_as_child_rejected():
+    with pytest.raises(ValueError, match="cannot be a child"):
+        JoinQuery("A", [JoinEdge("B", "A", "x", "x")])
+
+
+def test_disconnected_edge_rejected():
+    with pytest.raises(ValueError, match="not reachable"):
+        JoinQuery("A", [JoinEdge("X", "Y", "x", "x")])
+
+
+def test_order_validation(running_example_query):
+    q = running_example_query
+    assert q.is_valid_order(["R2", "R3", "R4", "R5", "R6"])
+    assert q.is_valid_order(["R5", "R6", "R2", "R4", "R3"])
+    # R3 before its parent R2:
+    assert not q.is_valid_order(["R3", "R2", "R4", "R5", "R6"])
+    # Missing a relation:
+    assert not q.is_valid_order(["R2", "R3", "R4", "R5"])
+    with pytest.raises(ValueError, match="invalid join order"):
+        q.validate_order(["R3", "R2", "R4", "R5", "R6"])
+
+
+def test_eligible_next(running_example_query):
+    q = running_example_query
+    assert set(q.eligible_next([])) == {"R2", "R5"}
+    assert set(q.eligible_next(["R2"])) == {"R3", "R4", "R5"}
+    assert set(q.eligible_next(["R2", "R3", "R4", "R5"])) == {"R6"}
+
+
+def test_all_orders_count(running_example_query):
+    orders = list(running_example_query.all_orders())
+    # Linear extensions of the forest {R2:{R3,R4}, R5:{R6}}: 20.
+    assert len(orders) == 20
+    assert len({tuple(o) for o in orders}) == 20
+    for order in orders:
+        assert running_example_query.is_valid_order(order)
+
+
+def test_random_order_valid_and_seeded(running_example_query):
+    q = running_example_query
+    rng = np.random.default_rng(3)
+    orders = [q.random_order(rng) for _ in range(20)]
+    for order in orders:
+        assert q.is_valid_order(order)
+    # Seeded reproducibility:
+    a = q.random_order(np.random.default_rng(5))
+    b = q.random_order(np.random.default_rng(5))
+    assert a == b
+
+
+def test_rerooted_preserves_join_graph(running_example_query):
+    q = running_example_query
+    rerooted = q.rerooted("R3")
+    assert rerooted.root == "R3"
+    assert rerooted.num_relations == q.num_relations
+    original = {
+        frozenset([(e.parent, e.parent_attr), (e.child, e.child_attr)])
+        for e in q.edges
+    }
+    flipped = {
+        frozenset([(e.parent, e.parent_attr), (e.child, e.child_attr)])
+        for e in rerooted.edges
+    }
+    assert original == flipped
+
+
+def test_rerooted_same_root_is_identity(running_example_query):
+    assert running_example_query.rerooted("R1") is running_example_query
+
+
+def test_rerooted_unknown_relation(running_example_query):
+    with pytest.raises(KeyError):
+        running_example_query.rerooted("nope")

@@ -1,0 +1,33 @@
+"""Tests for the q-error metric."""
+
+import pytest
+
+from repro.estimation import mean_q_error, q_error
+
+
+def test_perfect_estimate():
+    assert q_error(5.0, 5.0) == 1.0
+
+
+def test_symmetric():
+    assert q_error(2.0, 8.0) == q_error(8.0, 2.0) == 4.0
+
+
+def test_floor_guards_zero():
+    assert q_error(0.0, 0.0) == 1.0
+    assert q_error(0.0, 1.0, floor=0.1) == 10.0
+
+
+def test_mean_q_error():
+    mean, std = mean_q_error([1.0, 2.0], [1.0, 1.0])
+    assert mean == pytest.approx(1.5)
+    assert std == pytest.approx(0.5)
+
+
+def test_mean_q_error_empty():
+    assert mean_q_error([], []) == (0.0, 0.0)
+
+
+def test_mean_q_error_shape_mismatch():
+    with pytest.raises(ValueError, match="shape mismatch"):
+        mean_q_error([1.0], [1.0, 2.0])

@@ -1,0 +1,26 @@
+"""The example scripts must run end-to-end without errors."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_at_least_three_examples_exist():
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "example produced no output"

@@ -1,0 +1,58 @@
+"""Property test: SQL round trip for random join trees.
+
+Any rooted join tree can be rendered as the paper's SQL dialect; parsing
+it back and re-rooting at the original driver must reproduce the tree.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import parse_query
+from repro.workloads.random_trees import random_join_tree
+
+
+def to_sql(query):
+    relations = ", ".join(query.relations)
+    conjuncts = [
+        f"{e.parent}.{e.parent_attr} = {e.child}.{e.child_attr}"
+        for e in query.edges
+    ]
+    sql = f"select * from {relations}"
+    if conjuncts:
+        sql += " where " + " and ".join(conjuncts)
+    return sql
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=60, deadline=None)
+def test_sql_round_trip(seed):
+    query = random_join_tree(max_nodes=10, seed=seed)
+    parsed = parse_query(to_sql(query))
+    assert parsed.is_acyclic()
+    assert parsed.is_connected()
+    rebuilt = parsed.to_join_query(driver=query.root)
+    assert rebuilt.root == query.root
+    assert set(rebuilt.relations) == set(query.relations)
+    original_edges = {
+        (e.parent, e.parent_attr, e.child, e.child_attr)
+        for e in query.edges
+    }
+    rebuilt_edges = {
+        (e.parent, e.parent_attr, e.child, e.child_attr)
+        for e in rebuilt.edges
+    }
+    assert original_edges == rebuilt_edges
+
+
+@given(seed=st.integers(0, 10_000), driver_index=st.integers(0, 20))
+@settings(max_examples=40, deadline=None)
+def test_any_driver_choice_is_consistent(seed, driver_index):
+    query = random_join_tree(max_nodes=8, seed=seed)
+    parsed = parse_query(to_sql(query))
+    driver = query.relations[driver_index % query.num_relations]
+    rebuilt = parsed.to_join_query(driver=driver)
+    assert rebuilt.root == driver
+    assert rebuilt.num_relations == query.num_relations
+    # Valid orders exist from any rooting.
+    order = rebuilt.random_order(0)
+    assert rebuilt.is_valid_order(order)

@@ -1,0 +1,63 @@
+"""Unit tests for DataChunk."""
+
+import numpy as np
+import pytest
+
+from repro.storage import DataChunk, VectorColumn, iter_chunks
+
+
+def test_empty_chunk():
+    chunk = DataChunk()
+    assert len(chunk) == 0
+    assert chunk.column_names == []
+    assert chunk.to_rows() == []
+
+
+def test_add_column_wraps_arrays():
+    chunk = DataChunk()
+    chunk.add_column("a", [1, 2, 3])
+    assert isinstance(chunk.column("a"), VectorColumn)
+    assert len(chunk) == 3
+
+
+def test_length_mismatch_rejected():
+    chunk = DataChunk({"a": [1, 2]})
+    with pytest.raises(ValueError, match="length"):
+        chunk.add_column("b", [1, 2, 3])
+
+
+def test_contains_and_lookup():
+    chunk = DataChunk({"a": [1], "b": [2]})
+    assert "a" in chunk
+    assert "z" not in chunk
+    assert chunk.column("b").values.tolist() == [2]
+
+
+def test_take_gathers_rows():
+    chunk = DataChunk({"a": [10, 20, 30], "b": [1, 2, 3]})
+    taken = chunk.take([2, 0])
+    assert taken.to_rows() == [(30, 3), (10, 1)]
+
+
+def test_row_round_trip():
+    rows = [(1, 4), (2, 5), (3, 6)]
+    chunk = DataChunk.from_rows(["x", "y"], rows)
+    assert chunk.to_rows() == rows
+
+
+def test_from_rows_empty():
+    chunk = DataChunk.from_rows(["x", "y"], [])
+    assert len(chunk) == 0
+    assert chunk.column_names == ["x", "y"]
+
+
+def test_iter_chunks_partitions_exactly():
+    columns = {"a": np.arange(10), "b": np.arange(10) * 2}
+    chunks = list(iter_chunks(columns, chunk_size=4))
+    assert [len(c) for c in chunks] == [4, 4, 2]
+    recombined = np.concatenate([c.column("a").values for c in chunks])
+    assert recombined.tolist() == list(range(10))
+
+
+def test_iter_chunks_empty_mapping():
+    assert list(iter_chunks({}, chunk_size=4)) == []

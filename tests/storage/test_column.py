@@ -1,0 +1,80 @@
+"""Unit tests for VectorColumn."""
+
+import numpy as np
+import pytest
+
+from repro.storage import VectorColumn
+
+
+def test_values_stored_as_int64():
+    col = VectorColumn([1, 2, 3])
+    assert col.values.dtype == np.int64
+    assert len(col) == 3
+
+
+def test_float_values_preserved():
+    col = VectorColumn(np.asarray([1.5, 2.5]))
+    assert col.values.dtype == np.float64
+
+
+def test_rejects_2d_input():
+    with pytest.raises(ValueError, match="1-D"):
+        VectorColumn(np.zeros((2, 2)))
+
+
+def test_selection_defaults_to_all():
+    col = VectorColumn([1, 2, 3])
+    assert col.selection is None
+    assert col.num_selected == 3
+    assert np.array_equal(col.selection_mask(), [True, True, True])
+
+
+def test_selection_shape_mismatch_rejected():
+    with pytest.raises(ValueError, match="selection shape"):
+        VectorColumn([1, 2, 3], selection=[True, False])
+
+
+def test_ensure_selection_materializes():
+    col = VectorColumn([1, 2])
+    sel = col.ensure_selection()
+    assert sel.dtype == bool
+    assert sel.all()
+    # Same array is returned on subsequent calls.
+    assert col.ensure_selection() is sel
+
+
+def test_deselect_clears_bits():
+    col = VectorColumn([10, 20, 30, 40])
+    col.deselect([1, 3])
+    assert col.num_selected == 2
+    assert col.selected_values().tolist() == [10, 30]
+    assert col.selected_indices().tolist() == [0, 2]
+
+
+def test_take_gathers_without_selection():
+    col = VectorColumn([10, 20, 30], selection=[True, False, True])
+    taken = col.take([2, 0, 2])
+    assert taken.values.tolist() == [30, 10, 30]
+    assert taken.selection is None
+
+
+def test_copy_is_deep():
+    col = VectorColumn([1, 2, 3], selection=[True, True, False])
+    clone = col.copy()
+    clone.values[0] = 99
+    clone.selection[0] = False
+    assert col.values[0] == 1
+    assert col.selection[0]
+
+
+def test_equality_considers_selection():
+    a = VectorColumn([1, 2], selection=[True, False])
+    b = VectorColumn([1, 2], selection=[True, False])
+    c = VectorColumn([1, 2])
+    assert a == b
+    assert a != c
+
+
+def test_repr_mentions_selected_count():
+    col = VectorColumn([1, 2, 3], selection=[True, False, True])
+    assert "selected=2" in repr(col)

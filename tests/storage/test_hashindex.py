@@ -1,0 +1,98 @@
+"""Unit tests for the vectorized hash index."""
+
+import numpy as np
+import pytest
+
+from repro.storage import HashIndex, concat_ranges
+
+
+def test_concat_ranges_basic():
+    out = concat_ranges([0, 10, 5], [2, 3, 0])
+    assert out.tolist() == [0, 1, 10, 11, 12]
+
+
+def test_concat_ranges_empty():
+    assert concat_ranges([], []).tolist() == []
+    assert concat_ranges([3, 7], [0, 0]).tolist() == []
+
+
+def test_lookup_counts_and_rows():
+    index = HashIndex([5, 3, 5, 9, 5])
+    result = index.lookup(np.asarray([5, 9, 1]))
+    assert result.counts.tolist() == [3, 1, 0]
+    assert result.matched_mask.tolist() == [True, True, False]
+    assert result.total_matches() == 4
+    rows = result.matching_rows()
+    # First three rows match key 5 (positions 0, 2, 4), then key 9 (3).
+    assert sorted(rows[:3].tolist()) == [0, 2, 4]
+    assert rows[3] == 3
+
+
+def test_lookup_preserves_probe_order_grouping():
+    index = HashIndex([1, 2, 2])
+    result = index.lookup(np.asarray([2, 1, 2]))
+    rows = result.matching_rows()
+    assert sorted(rows[:2].tolist()) == [1, 2]  # first probe: key 2
+    assert rows[2] == 0  # second probe: key 1
+    assert sorted(rows[3:].tolist()) == [1, 2]  # third probe: key 2
+
+
+def test_empty_index_lookup():
+    index = HashIndex(np.empty(0, dtype=np.int64))
+    result = index.lookup(np.asarray([1, 2]))
+    assert result.counts.tolist() == [0, 0]
+    assert result.matching_rows().tolist() == []
+    assert index.contains(np.asarray([7])).tolist() == [False]
+
+
+def test_lookup_empty_probe_batch():
+    index = HashIndex([1, 2, 3])
+    result = index.lookup(np.empty(0, dtype=np.int64))
+    assert len(result) == 0
+    assert result.matching_rows().tolist() == []
+
+
+def test_contains_membership():
+    index = HashIndex([4, 4, 6])
+    mask = index.contains(np.asarray([4, 5, 6, 7]))
+    assert mask.tolist() == [True, False, True, False]
+
+
+def test_restricted_index_covers_subset_only():
+    keys = np.asarray([1, 1, 2, 2, 3])
+    index = HashIndex(keys, rows=np.asarray([0, 3, 4]))
+    assert len(index) == 3
+    result = index.lookup(np.asarray([1, 2, 3]))
+    assert result.counts.tolist() == [1, 1, 1]
+    assert sorted(result.matching_rows().tolist()) == [0, 3, 4]
+
+
+def test_rows_for_key():
+    index = HashIndex([7, 8, 7])
+    assert sorted(index.rows_for_key(7).tolist()) == [0, 2]
+    assert index.rows_for_key(99).tolist() == []
+
+
+def test_num_distinct_and_keys():
+    index = HashIndex([3, 1, 3, 2])
+    assert index.num_distinct == 3
+    assert index.distinct_keys().tolist() == [1, 2, 3]
+
+
+def test_lookup_against_dict_reference():
+    rng = np.random.default_rng(0)
+    keys = rng.integers(0, 20, 200)
+    probes = rng.integers(-5, 25, 100)
+    index = HashIndex(keys)
+    reference = {}
+    for i, k in enumerate(keys.tolist()):
+        reference.setdefault(k, []).append(i)
+    result = index.lookup(probes)
+    offset = 0
+    rows = result.matching_rows()
+    for probe, count in zip(probes.tolist(), result.counts.tolist()):
+        expected = reference.get(probe, [])
+        assert count == len(expected)
+        got = rows[offset:offset + count].tolist()
+        assert sorted(got) == sorted(expected)
+        offset += count

@@ -1,0 +1,83 @@
+"""Tests for catalog CSV persistence."""
+
+import numpy as np
+import pytest
+
+from repro.storage import (
+    Catalog,
+    Table,
+    load_catalog,
+    save_catalog,
+    table_from_csv,
+    table_to_csv,
+)
+
+
+def make_catalog():
+    catalog = Catalog()
+    catalog.add_table("users", {"uid": [1, 2, 3], "age": [30, 40, 50]})
+    catalog.add_table("edges", {"src": [1, 1, 2], "dst": [2, 3, 3]})
+    return catalog
+
+
+def test_round_trip(tmp_path):
+    original = make_catalog()
+    save_catalog(original, tmp_path / "db")
+    loaded = load_catalog(tmp_path / "db")
+    assert loaded.table_names == original.table_names
+    for name in original.table_names:
+        t_orig, t_load = original.table(name), loaded.table(name)
+        assert t_load.column_names == t_orig.column_names
+        for col in t_orig.column_names:
+            assert np.array_equal(t_load.column(col), t_orig.column(col))
+            assert t_load.column(col).dtype == t_orig.column(col).dtype
+
+
+def test_table_csv_round_trip(tmp_path):
+    table = Table("t", {"a": [5, 6], "b": [-1, 2]})
+    path = tmp_path / "t.csv"
+    table_to_csv(table, path)
+    loaded = table_from_csv("t", path)
+    assert loaded.column("a").tolist() == [5, 6]
+    assert loaded.column("b").tolist() == [-1, 2]
+
+
+def test_float_dtype_preserved(tmp_path):
+    catalog = Catalog()
+    catalog.add_table("m", {"x": np.asarray([1.5, 2.25])})
+    save_catalog(catalog, tmp_path / "db")
+    loaded = load_catalog(tmp_path / "db")
+    assert loaded.table("m").column("x").dtype == np.float64
+    assert loaded.table("m").column("x").tolist() == [1.5, 2.25]
+
+
+def test_missing_manifest(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        load_catalog(tmp_path)
+
+
+def test_empty_csv_rejected(tmp_path):
+    (tmp_path / "x.csv").write_text("")
+    with pytest.raises(ValueError, match="missing header"):
+        table_from_csv("x", tmp_path / "x.csv")
+
+
+def test_row_count_mismatch_detected(tmp_path):
+    catalog = make_catalog()
+    save_catalog(catalog, tmp_path / "db")
+    # Corrupt: drop a data row from users.csv.
+    path = tmp_path / "db" / "users.csv"
+    lines = path.read_text().strip().splitlines()
+    path.write_text("\n".join(lines[:-1]) + "\n")
+    with pytest.raises(ValueError, match="manifest says"):
+        load_catalog(tmp_path / "db")
+
+
+def test_loaded_catalog_queryable(tmp_path):
+    from repro import JoinEdge, JoinQuery, execute
+
+    save_catalog(make_catalog(), tmp_path / "db")
+    loaded = load_catalog(tmp_path / "db")
+    query = JoinQuery("users", [JoinEdge("users", "edges", "uid", "src")])
+    result = execute(loaded, query, mode="COM", flat_output=True)
+    assert result.output_size == 3

@@ -1,0 +1,93 @@
+"""Unit tests for Table and Catalog."""
+
+import numpy as np
+import pytest
+
+from repro.storage import Catalog, Table
+
+
+def test_table_basic_properties():
+    table = Table("t", {"a": [1, 2, 3], "b": [4, 5, 6]})
+    assert len(table) == 3
+    assert table.column_names == ["a", "b"]
+    assert table.column("a").dtype == np.int64
+
+
+def test_table_rejects_mismatched_lengths():
+    with pytest.raises(ValueError, match="length"):
+        Table("t", {"a": [1, 2], "b": [1]})
+
+
+def test_table_rejects_empty_schema():
+    with pytest.raises(ValueError, match="at least one column"):
+        Table("t", {})
+
+
+def test_table_unknown_column_message():
+    table = Table("t", {"a": [1]})
+    with pytest.raises(KeyError, match="no column 'z'"):
+        table.column("z")
+
+
+def test_distinct_count():
+    table = Table("t", {"a": [1, 1, 2, 3, 3, 3]})
+    assert table.distinct_count("a") == 3
+
+
+def test_gather_selects_rows_and_columns():
+    table = Table("t", {"a": [10, 20, 30], "b": [1, 2, 3]})
+    got = table.gather([2, 0], columns=["b"])
+    assert list(got) == ["b"]
+    assert got["b"].tolist() == [3, 1]
+
+
+def test_chunks_iteration():
+    table = Table("t", {"a": np.arange(5)})
+    chunks = list(table.chunks(chunk_size=2))
+    assert [len(c) for c in chunks] == [2, 2, 1]
+
+
+def test_catalog_registration_and_lookup():
+    catalog = Catalog()
+    catalog.add_table("t", {"a": [1, 2]})
+    assert "t" in catalog
+    assert catalog.table_names == ["t"]
+    assert len(catalog.table("t")) == 2
+
+
+def test_catalog_unknown_table_message():
+    catalog = Catalog()
+    with pytest.raises(KeyError, match="no table named 'x'"):
+        catalog.table("x")
+
+
+def test_catalog_rejects_non_table():
+    catalog = Catalog()
+    with pytest.raises(TypeError, match="expected Table"):
+        catalog.add({"a": [1]})
+
+
+def test_hash_index_cached_and_invalidated():
+    catalog = Catalog()
+    catalog.add_table("t", {"a": [1, 2, 2]})
+    idx1 = catalog.hash_index("t", "a")
+    idx2 = catalog.hash_index("t", "a")
+    assert idx1 is idx2
+    # Replacing the table drops the cache.
+    catalog.add_table("t", {"a": [5, 5]})
+    idx3 = catalog.hash_index("t", "a")
+    assert idx3 is not idx1
+    assert idx3.num_distinct == 1
+
+
+def test_invalidate_indexes_scoped():
+    catalog = Catalog()
+    catalog.add_table("t", {"a": [1]})
+    catalog.add_table("u", {"a": [1]})
+    idx_t = catalog.hash_index("t", "a")
+    idx_u = catalog.hash_index("u", "a")
+    catalog.invalidate_indexes("t")
+    assert catalog.hash_index("t", "a") is not idx_t
+    assert catalog.hash_index("u", "a") is idx_u
+    catalog.invalidate_indexes()
+    assert catalog.hash_index("u", "a") is not idx_u

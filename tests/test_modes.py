@@ -1,0 +1,33 @@
+"""Unit tests for the ExecutionMode enum."""
+
+import pytest
+
+from repro.modes import ExecutionMode
+
+
+def test_all_modes_count_and_order():
+    modes = ExecutionMode.all_modes()
+    assert len(modes) == 6
+    assert modes[0] is ExecutionMode.STD
+
+
+def test_flags():
+    assert not ExecutionMode.STD.factorized
+    assert ExecutionMode.COM.factorized
+    assert ExecutionMode.BVP_COM.factorized
+    assert ExecutionMode.SJ_COM.factorized
+    assert ExecutionMode.BVP_STD.uses_bitvectors
+    assert not ExecutionMode.SJ_STD.uses_bitvectors
+    assert ExecutionMode.SJ_STD.uses_semijoin
+    assert not ExecutionMode.BVP_COM.uses_semijoin
+
+
+def test_string_round_trip():
+    for mode in ExecutionMode.all_modes():
+        assert ExecutionMode(str(mode)) is mode
+    assert ExecutionMode("SJ+COM") is ExecutionMode.SJ_COM
+
+
+def test_invalid_mode_rejected():
+    with pytest.raises(ValueError):
+        ExecutionMode("FANCY")
