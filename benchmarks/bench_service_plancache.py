@@ -1,0 +1,99 @@
+"""Plan-cache benchmark: cold planning latency vs cached replanning.
+
+Records the measured latencies and speedup to
+``benchmarks/results/BENCH_service_plancache.json`` so future PRs can
+track the regression/improvement history.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import QuerySession
+from repro.storage import Catalog
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: the paper's 6-relation running example schema, at benchmark scale
+SQL = ("select * from R1, R2, R3, R4, R5, R6 "
+       "where R1.B = R2.B and R2.C = R3.C and R2.D = R4.D "
+       "and R1.E = R5.E and R5.F = R6.F")
+
+
+def make_catalog(seed=3, driver_rows=4_000):
+    rng = np.random.default_rng(seed)
+    catalog = Catalog()
+    catalog.add_table("R1", {
+        "A": np.arange(driver_rows),
+        "B": rng.integers(0, 60, driver_rows),
+        "E": rng.integers(0, 50, driver_rows),
+    })
+    catalog.add_table("R2", {
+        "B": rng.integers(0, 70, 3_000),
+        "C": rng.integers(0, 55, 3_000),
+        "D": rng.integers(0, 65, 3_000),
+    })
+    catalog.add_table("R3", {"C": rng.integers(0, 60, 2_500)})
+    catalog.add_table("R4", {"D": rng.integers(0, 75, 2_000)})
+    catalog.add_table("R5", {"E": rng.integers(0, 55, 2_800),
+                             "F": rng.integers(0, 50, 2_800)})
+    catalog.add_table("R6", {"F": rng.integers(0, 50, 1_500),
+                             "G": rng.integers(0, 5, 1_500)})
+    return catalog
+
+
+def _best_of(fn, repeats=5):
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def test_cold_plan_latency(benchmark):
+    catalog = make_catalog()
+
+    def cold_plan():
+        QuerySession(catalog).plan(SQL)
+
+    benchmark.pedantic(cold_plan, rounds=3, iterations=1, warmup_rounds=1)
+
+
+def test_cached_plan_latency(benchmark):
+    session = QuerySession(make_catalog())
+    session.plan(SQL)  # warm the cache
+    benchmark(lambda: session.plan(SQL))
+    assert session.plan_cache.stats.hits > 0
+
+
+def test_record_cold_vs_cached_speedup():
+    catalog = make_catalog()
+    session = QuerySession(catalog)
+    t0 = time.perf_counter()
+    session.plan(SQL)
+    cold_seconds = time.perf_counter() - t0
+    cached_seconds = _best_of(lambda: session.plan(SQL))
+    speedup = cold_seconds / cached_seconds
+    record = {
+        "benchmark": "service_plancache",
+        "query": "6-relation running example",
+        "cold_plan_ms": round(cold_seconds * 1e3, 4),
+        "cached_plan_ms": round(cached_seconds * 1e3, 4),
+        "speedup": round(speedup, 1),
+        "plan_cache": {
+            "hits": session.plan_cache.stats.hits,
+            "misses": session.plan_cache.stats.misses,
+        },
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_service_plancache.json"
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\n{json.dumps(record, indent=2)}\n[saved to {path}]")
+    # Loose floor only: shared CI runners make tight wall-clock ratios
+    # flaky.  The recorded JSON carries the real number (typically
+    # >= 10x; ~50x locally); the 10x acceptance check lives in
+    # tests/service/test_session.py with a best-of-N hot measurement.
+    assert speedup >= 2.0, record

@@ -16,7 +16,6 @@ import numpy as np
 
 from repro import (
     Catalog,
-    EdgeStats,
     ExecutionMode,
     JoinEdge,
     JoinQuery,

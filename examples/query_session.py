@@ -1,0 +1,85 @@
+"""Query-service layer: plan caching, prepared statements, batches.
+
+A long-lived process (a server, a benchmark harness) should not pay
+full optimization for every query.  `QuerySession` wraps the planner
+with an LRU plan cache keyed on normalized query structure + a content
+fingerprint of the catalog, memoizes statistics derivation, and adds
+prepared statements (plan once, execute many with new constants).
+
+Run with:  python examples/query_session.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import QuerySession
+from repro.storage import Catalog
+
+# ----------------------------------------------------------------------
+# 1. A small orders database with many-to-many joins.
+# ----------------------------------------------------------------------
+rng = np.random.default_rng(11)
+catalog = Catalog()
+num_customers = 1_500
+catalog.add_table("customers", {
+    "cid": np.arange(num_customers),
+    "region": rng.integers(0, 8, num_customers),
+})
+num_orders = 6_000
+catalog.add_table("orders", {
+    "cid": rng.integers(0, num_customers, num_orders),
+    "oid": np.arange(num_orders),
+    "status": rng.integers(0, 4, num_orders),
+})
+catalog.add_table("items", {
+    "oid": rng.integers(0, int(num_orders * 1.2), 20_000),
+    "pid": rng.integers(0, 500, 20_000),
+})
+
+session = QuerySession(catalog)
+SQL = ("select * from customers, orders, items "
+       "where customers.cid = orders.cid and orders.oid = items.oid")
+
+# ----------------------------------------------------------------------
+# 2. Plan caching: the second plan() is a dictionary lookup.
+# ----------------------------------------------------------------------
+t0 = time.perf_counter()
+plan = session.plan(SQL)
+cold_ms = (time.perf_counter() - t0) * 1e3
+t0 = time.perf_counter()
+assert session.plan(SQL) is plan
+cached_ms = (time.perf_counter() - t0) * 1e3
+print(f"cold plan   {cold_ms:8.2f} ms   ({plan.mode}, driver={plan.query.root})")
+print(f"cached plan {cached_ms:8.2f} ms   ({cold_ms / cached_ms:.0f}x faster)")
+print(f"cache info: {session.cache_info()}")
+
+# ----------------------------------------------------------------------
+# 3. Prepared statements: plan once, bind new constants per execution.
+# ----------------------------------------------------------------------
+stmt = session.prepare(
+    "select * from customers, orders "
+    "where customers.cid = orders.cid and orders.status = ?"
+)
+print("\nprepared statement over order status:")
+for status in range(4):
+    report = stmt.execute(status)
+    print(f"  status={status}: {report.result.output_size:6d} rows "
+          f"plan={report.planning_seconds * 1e3:6.2f}ms "
+          f"exec={report.execution_seconds * 1e3:6.2f}ms "
+          f"{'(template reused)' if report.cache_hit else '(planned)'}")
+
+# ----------------------------------------------------------------------
+# 4. Batched execution with per-query budgets.
+# ----------------------------------------------------------------------
+batch = [
+    SQL,
+    "select * from customers, orders where customers.cid = orders.cid",
+    "select * from orders, items where orders.oid = items.oid",
+]
+reports = session.execute_many(batch, budgets=[50_000_000, 2, 50_000_000])
+print("\nbatch with per-query budgets:")
+for report in reports:
+    status = "ok" if report.ok else ("timeout" if report.timed_out else "error")
+    print(f"  {status:8s} total={report.total_seconds * 1e3:7.2f}ms "
+          f"cache_hit={report.cache_hit}")

@@ -45,9 +45,15 @@ from .engine import (
 )
 from .modes import ExecutionMode
 from .planner import PhysicalPlan, Planner
+from .service import (
+    PlanCache,
+    PreparedStatement,
+    QueryReport,
+    QuerySession,
+)
 from .storage import Catalog, Table, load_catalog, save_catalog
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BudgetExceededError",
@@ -62,8 +68,12 @@ __all__ = [
     "ParseError",
     "ParsedQuery",
     "PhysicalPlan",
+    "PlanCache",
     "PlanCost",
     "Planner",
+    "PreparedStatement",
+    "QueryReport",
+    "QuerySession",
     "QueryStats",
     "Table",
     "best_driver",

@@ -2,11 +2,14 @@
 
 from . import fig04, fig06, fig10, fig11, fig12, fig13, fig14, fig15, fig16
 from .runner import (
+    SMOKE_PARAMS,
+    FigureResult,
     ModeRun,
     geometric_mean,
     relative_to,
     render_table,
     run_all_modes,
+    run_figures,
 )
 
 #: figure id -> driver module
@@ -24,9 +27,12 @@ FIGURES = {
 
 __all__ = [
     "FIGURES",
+    "FigureResult",
     "ModeRun",
+    "SMOKE_PARAMS",
     "geometric_mean",
     "relative_to",
     "render_table",
     "run_all_modes",
+    "run_figures",
 ]

@@ -4,6 +4,12 @@ Usage::
 
     python -m repro.bench --figure 11
     python -m repro.bench --all
+    python -m repro.bench --smoke --jobs 4      # CI smoke suite, parallel
+    repro-bench --all --jobs 8                  # console entry point
+
+``--smoke`` runs every figure (or the ``--figure`` subset) on reduced
+problem sizes; ``--jobs N`` fans the independent figures out over N
+worker processes.
 """
 
 from __future__ import annotations
@@ -12,6 +18,7 @@ import argparse
 import sys
 
 from . import FIGURES
+from .runner import run_figures
 
 
 def main(argv=None):
@@ -26,13 +33,45 @@ def main(argv=None):
     parser.add_argument(
         "--all", action="store_true", help="regenerate every figure"
     )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="reduced problem sizes (runs every figure unless --figure)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for running figures in parallel (default 1)",
+    )
     args = parser.parse_args(argv)
-    if not args.figure and not args.all:
-        parser.error("pass --figure N or --all")
-    targets = sorted(FIGURES, key=int) if args.all else [args.figure]
-    for figure in targets:
-        print(f"\n=== Figure {figure} ===")
-        FIGURES[figure].main()
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    if args.figure and args.all:
+        parser.error("--figure and --all are mutually exclusive")
+    if not args.figure and not args.all and not args.smoke:
+        parser.error("pass --figure N, --all or --smoke")
+    figures = [args.figure] if args.figure else sorted(FIGURES, key=int)
+    streamed = args.jobs == 1 or len(figures) == 1
+
+    def report(result):
+        label = f"Figure {result.figure}"
+        if args.smoke:
+            label += " (smoke)"
+        print(f"\n=== {label}: "
+              f"{'ok' if result.ok else 'FAILED'} in {result.seconds:.1f}s ===")
+        if result.output and not streamed:
+            print(result.output, end="")
+        if result.error:
+            print(result.error, file=sys.stderr, end="")
+
+    results = run_figures(
+        figures, jobs=args.jobs, smoke=args.smoke, on_result=report,
+        stream=streamed,
+    )
+    failed = [result.figure for result in results if not result.ok]
+    if failed:
+        print(f"\nFAILED figures: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print(f"\nAll {len(results)} figure(s) completed "
+          f"in {sum(r.seconds for r in results):.1f}s of driver time.")
     return 0
 
 

@@ -34,7 +34,7 @@ from .optimizer import (
     greedy_order,
     optimize_sj,
 )
-from .parser import ParsedQuery, ParseError, parse_query
+from .parser import ParsedQuery, ParseError, Placeholder, parse_query
 from .query import JoinEdge, JoinQuery
 from .robustness import (
     best_star_order,
@@ -43,12 +43,22 @@ from .robustness import (
     theta_fragility,
     theta_robustness,
 )
-from .stats import EdgeStats, QueryStats, stats_from_data
+from .lru import CacheStats, LRUCache
+from .stats import (
+    EdgeStats,
+    QueryStats,
+    StatsCache,
+    query_signature,
+    stats_from_data,
+)
 
 __all__ = [
+    "CacheStats",
     "CostWeights",
     "CyclicPlan",
     "EdgeStats",
+    "LRUCache",
+    "StatsCache",
     "GREEDY_HEURISTICS",
     "JoinEdge",
     "JoinQuery",
@@ -56,6 +66,7 @@ __all__ = [
     "ParseError",
     "ParsedQuery",
     "PlanCost",
+    "Placeholder",
     "QueryStats",
     "ResidualPredicate",
     "adjusted_fanout",
@@ -73,6 +84,7 @@ __all__ = [
     "optimize_sj",
     "parse_query",
     "plan_cost",
+    "query_signature",
     "spanning_tree_decomposition",
     "reduction_ratios",
     "sj_phase1_cost",

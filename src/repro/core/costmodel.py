@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from ..modes import ExecutionMode
 
 __all__ = [
+    "CostMemo",
     "CostWeights",
     "PlanCost",
     "survival_probability",
@@ -103,6 +104,66 @@ class PlanCost:
 # ----------------------------------------------------------------------
 
 
+class CostMemo:
+    """Memoization tables for repeated survival / Eq. (1) evaluations.
+
+    The exhaustive optimizer (Algorithm 1) evaluates ``_survival`` and
+    ``_eq1_probes`` for overlapping joined sets across the DP's
+    ``O(2^n)`` subsets; both quantities are pure functions of the
+    *subset* (not the order), so a DP table over relation subsets
+    eliminates the re-costing.  Subsets are encoded as integer
+    bitmasks (one bit per relation, pseudo bitvector nodes included
+    lazily) to keep key construction cheap.  A memo is only valid for
+    one fixed (query, stats, eps) combination — the optimizer creates a
+    fresh one per invocation.
+
+    ``_survival`` for a node depends only on the membership restricted
+    to that node's subtree (plus pseudo bitvector nodes attached inside
+    it), so its keys are masked by the subtree for maximal reuse.
+    """
+
+    __slots__ = ("bit", "subtree_mask", "survival", "eq1", "frontier")
+
+    def __init__(self, query):
+        self.bit = {}
+        for name in query.preorder():
+            self.bit[name] = 1 << len(self.bit)
+        self.subtree_mask = {}
+        for node in query.postorder():
+            mask = self.bit[node]
+            for child in query.children(node):
+                mask |= self.subtree_mask[child]
+            self.subtree_mask[node] = mask
+        self.survival = {}
+        self.eq1 = {}
+        #: joined-set mask -> (pseudo, pseudo_children); used by the
+        #: optimizer's BVP costing (the frontier depends only on the set)
+        self.frontier = {}
+
+    def mask_of(self, names):
+        """Bitmask of a collection of node names (new bits on demand)."""
+        bit = self.bit
+        mask = 0
+        for name in names:
+            value = bit.get(name)
+            if value is None:
+                value = bit[name] = 1 << len(bit)
+            mask |= value
+        return mask
+
+    def pseudo_submask(self, pseudo, subtree_mask):
+        """Mask of pseudo nodes whose parent lies inside ``subtree_mask``."""
+        bit = self.bit
+        mask = 0
+        for name, (parent, _) in pseudo.items():
+            if bit[parent] & subtree_mask:
+                value = bit.get(name)
+                if value is None:
+                    value = bit[name] = 1 << len(bit)
+                mask |= value
+        return mask
+
+
 def _node_m(query, stats, node, pseudo):
     if node == query.root:
         return 1.0
@@ -125,22 +186,45 @@ def _children_in(query, node, members, pseudo_children):
     return real + pseudo_children.get(node, [])
 
 
-def _survival(query, stats, node, members, pseudo, pseudo_children):
-    """``m_T`` for the subtree rooted at ``node`` restricted to members."""
+def _survival(query, stats, node, members, pseudo, pseudo_children,
+              memo=None, members_mask=None):
+    """``m_T`` for the subtree rooted at ``node`` restricted to members.
+
+    ``members_mask`` is the :class:`CostMemo` bitmask of ``members``
+    (computed by the caller so the recursion does not rebuild it).
+    """
     if node in pseudo:
         # Bitvector pseudo-nodes are fanout-1 leaves (Section 3.5).
         return pseudo[node][1]
+    key = None
+    if memo is not None:
+        if members_mask is None:
+            members_mask = memo.mask_of(members)
+        subtree = memo.subtree_mask[node]
+        key = (
+            node,
+            members_mask & subtree,
+            memo.pseudo_submask(pseudo, subtree) if pseudo else 0,
+        )
+        cached = memo.survival.get(key)
+        if cached is not None:
+            return cached
     children = _children_in(query, node, members, pseudo_children)
     m = _node_m(query, stats, node, pseudo)
     if not children:
-        return m
-    child_product = 1.0
-    for child in children:
-        child_product *= _survival(
-            query, stats, child, members, pseudo, pseudo_children
-        )
-    fo = _node_fo(query, stats, node, pseudo)
-    return m * (1.0 - (1.0 - child_product) ** fo)
+        result = m
+    else:
+        child_product = 1.0
+        for child in children:
+            child_product *= _survival(
+                query, stats, child, members, pseudo, pseudo_children,
+                memo, members_mask
+            )
+        fo = _node_fo(query, stats, node, pseudo)
+        result = m * (1.0 - (1.0 - child_product) ** fo)
+    if key is not None:
+        memo.survival[key] = result
+    return result
 
 
 def survival_probability(query, stats, members, subtree_root=None):
@@ -157,7 +241,8 @@ def survival_probability(query, stats, members, subtree_root=None):
     return _survival(query, stats, root, members, {}, {})
 
 
-def _eq1_probes(query, stats, members, parent, pseudo=None, pseudo_children=None):
+def _eq1_probes(query, stats, members, parent, pseudo=None,
+                pseudo_children=None, memo=None):
     """Equation (1): expected probes into a new child of ``parent``.
 
     ``members`` is the set of already-joined relations (the connected
@@ -165,10 +250,22 @@ def _eq1_probes(query, stats, members, parent, pseudo=None, pseudo_children=None
     root->parent path; every branch subtree hanging off a path node
     contributes its survival probability.  ``pseudo`` maps pseudo-node
     name -> (parent, match_probability) for BVP bitvector checks that
-    behave like fanout-1 filters (Section 3.5).
+    behave like fanout-1 filters (Section 3.5).  ``memo`` is an optional
+    :class:`CostMemo` valid for this (query, stats) combination.
     """
     pseudo = pseudo or {}
     pseudo_children = pseudo_children or {}
+    key = members_mask = None
+    if memo is not None:
+        members_mask = memo.mask_of(members)
+        key = (
+            parent,
+            members_mask,
+            memo.mask_of(pseudo) if pseudo else 0,
+        )
+        cached = memo.eq1.get(key)
+        if cached is not None:
+            return cached
     path = list(reversed(query.path_to_root(parent)))  # root ... parent
     on_path = set(path)
     probes = stats.driver_size
@@ -179,8 +276,11 @@ def _eq1_probes(query, stats, members, parent, pseudo=None, pseudo_children=None
             if child in on_path:
                 continue
             probes *= _survival(
-                query, stats, child, members, pseudo, pseudo_children
+                query, stats, child, members, pseudo, pseudo_children,
+                memo, members_mask
             )
+    if key is not None:
+        memo.eq1[key] = probes
     return probes
 
 

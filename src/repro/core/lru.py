@@ -1,0 +1,105 @@
+"""A small LRU cache with hit/miss accounting.
+
+Shared by the statistics cache (:class:`repro.core.stats.StatsCache`)
+and the plan cache (:class:`repro.service.PlanCache`).  Keys must be
+hashable; capacity ``None`` means unbounded.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+__all__ = ["CacheStats", "LRUCache"]
+
+_MISSING = object()
+
+
+@dataclass
+class CacheStats:
+    """Counters describing a cache's behaviour so far."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self):
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self):
+        """Fraction of lookups served from cache (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def __repr__(self):
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions}, invalidations={self.invalidations})"
+        )
+
+
+class LRUCache:
+    """Least-recently-used mapping with bounded capacity.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries; the least recently *used* entry is
+        evicted when a put would exceed it.  ``None`` disables eviction.
+    """
+
+    def __init__(self, capacity=128):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self.capacity = capacity
+        self._entries = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, key):
+        return key in self._entries
+
+    def get(self, key, default=None):
+        """Look up ``key``, refreshing its recency; counts hit/miss."""
+        value = self._entries.get(key, _MISSING)
+        if value is _MISSING:
+            self.stats.misses += 1
+            return default
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return value
+
+    def put(self, key, value):
+        """Insert/overwrite ``key``, evicting the LRU entry if full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        if self.capacity is not None and len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return value
+
+    def get_or_compute(self, key, compute):
+        """Return the cached value, computing and inserting on a miss."""
+        value = self.get(key, _MISSING)
+        if value is _MISSING:
+            value = self.put(key, compute())
+        return value
+
+    def clear(self):
+        """Drop every entry (counted as invalidations)."""
+        self.stats.invalidations += len(self._entries)
+        self._entries.clear()
+
+    def keys(self):
+        return list(self._entries)
+
+    def __repr__(self):
+        return (
+            f"LRUCache(size={len(self)}, capacity={self.capacity}, "
+            f"{self.stats})"
+        )

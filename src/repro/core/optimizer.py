@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 from ..modes import ExecutionMode
 from .costmodel import (
+    CostMemo,
     CostWeights,
     _eq1_probes,
     _survival,
@@ -85,12 +86,26 @@ def _frontier_pseudo(query, stats, joined, eps):
     return pseudo, pseudo_children
 
 
-def _delta_cost(query, stats, joined, relation, mode, eps, weights):
+def _frontier_pseudo_memo(query, stats, joined, eps, memo):
+    """Memoized :func:`_frontier_pseudo` (the frontier is set-determined)."""
+    if memo is None:
+        return _frontier_pseudo(query, stats, joined, eps)
+    key = memo.mask_of(joined)
+    hit = memo.frontier.get(key)
+    if hit is None:
+        hit = memo.frontier[key] = _frontier_pseudo(query, stats, joined, eps)
+    return hit
+
+
+def _delta_cost(query, stats, joined, relation, mode, eps, weights,
+                memo=None):
     """Additional expected cost of joining ``relation`` after ``joined``.
 
     This is the quantity Algorithm 1 accumulates; for every supported
     mode it depends only on the joined *set*, not its order (the
-    principle of optimality, Sections 3.4 and 3.5).
+    principle of optimality, Sections 3.4 and 3.5).  ``memo`` is an
+    optional :class:`~repro.core.costmodel.CostMemo` shared across the
+    DP so overlapping subsets are costed once.
     """
     parent = query.parent(relation)
     c = stats.probe_cost(relation)
@@ -101,13 +116,15 @@ def _delta_cost(query, stats, joined, relation, mode, eps, weights):
                 tuples *= stats.selectivity(rel)
         return tuples * c * weights.hash_probe
     if mode is ExecutionMode.COM:
-        probes = _eq1_probes(query, stats, joined, parent)
+        probes = _eq1_probes(query, stats, joined, parent, memo=memo)
         return probes * c * weights.hash_probe
     if mode in (ExecutionMode.BVP_STD, ExecutionMode.BVP_COM):
-        pseudo, pseudo_children = _frontier_pseudo(query, stats, joined, eps)
+        pseudo, pseudo_children = _frontier_pseudo_memo(
+            query, stats, joined, eps, memo
+        )
         if mode is ExecutionMode.BVP_COM:
             hash_probes = _eq1_probes(
-                query, stats, joined, parent, pseudo, pseudo_children
+                query, stats, joined, parent, pseudo, pseudo_children, memo
             )
         else:
             hash_probes = stats.driver_size
@@ -120,8 +137,8 @@ def _delta_cost(query, stats, joined, relation, mode, eps, weights):
         # ``relation`` become checkable.  Each check touches the alive
         # entries of ``relation`` (COM) or the expanded stream (STD).
         joined_after = joined | {relation}
-        pseudo_after, pseudo_children_after = _frontier_pseudo(
-            query, stats, joined_after, eps
+        pseudo_after, pseudo_children_after = _frontier_pseudo_memo(
+            query, stats, joined_after, eps, memo
         )
         bv_probes = 0.0
         new_checks = sorted(
@@ -142,7 +159,8 @@ def _delta_cost(query, stats, joined, relation, mode, eps, weights):
                     for node, names in pseudo_children_after.items()
                 }
                 alive = _eq1_probes(
-                    query, stats, joined_after, relation, base_pseudo, base_children
+                    query, stats, joined_after, relation, base_pseudo,
+                    base_children, memo
                 )
             else:
                 alive = stats.driver_size
@@ -168,7 +186,7 @@ def _delta_cost(query, stats, joined, relation, mode, eps, weights):
 
 
 def exhaustive_optimal(query, stats, mode=ExecutionMode.COM, eps=0.01,
-                       weights=CostWeights()):
+                       weights=CostWeights(), memoize=True):
     """Algorithm 1: optimal join order for a fixed driver.
 
     Dynamic programming over connected subsets of the join tree that
@@ -176,11 +194,19 @@ def exhaustive_optimal(query, stats, mode=ExecutionMode.COM, eps=0.01,
     order whose prefix is exactly ``S``.  The cost function obeys the
     principle of optimality (every prefix of an optimal order is
     optimal for its set), so expanding frontiers suffices.
+
+    With ``memoize`` (the default) the survival-probability and
+    Eq. (1) evaluations underlying every delta cost are tabulated over
+    relation subsets in a :class:`~repro.core.costmodel.CostMemo`, so
+    overlapping prefixes share work instead of re-costing from scratch;
+    ``memoize=False`` recomputes everything (the original behaviour)
+    and returns bit-identical orders and costs.
     """
     mode = ExecutionMode(mode)
     if mode.uses_semijoin:
         return optimize_sj(query, stats, factorized=mode.factorized,
                            weights=weights)
+    memo = CostMemo(query) if memoize else None
     root_set = frozenset([query.root])
     best = {root_set: (0.0, [])}
     frontier_sets = [root_set]
@@ -192,7 +218,7 @@ def exhaustive_optimal(query, stats, mode=ExecutionMode.COM, eps=0.01,
             joined = set(prefix_set)
             for relation in query.eligible_next(prefix_order):
                 delta = _delta_cost(
-                    query, stats, joined, relation, mode, eps, weights
+                    query, stats, joined, relation, mode, eps, weights, memo
                 )
                 new_set = prefix_set | {relation}
                 new_cost = prefix_cost + delta

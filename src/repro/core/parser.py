@@ -19,8 +19,14 @@ Supported grammar (case-insensitive keywords)::
     rel        := identifier [[AS] identifier]
     conjunct   := colref '=' colref        -- join predicate
                 | colref '=' literal       -- selection predicate
+                | colref '=' '?'           -- selection placeholder
     colref     := identifier '.' identifier
     literal    := integer | quoted string
+
+``?`` placeholders support prepared statements
+(:meth:`repro.service.QuerySession.prepare`): the join structure is
+planned once and the constants are bound per execution via
+:meth:`ParsedQuery.bind`.
 """
 
 from __future__ import annotations
@@ -30,7 +36,7 @@ from dataclasses import dataclass, field
 
 from .query import JoinEdge, JoinQuery
 
-__all__ = ["ParseError", "ParsedQuery", "parse_query"]
+__all__ = ["ParseError", "ParsedQuery", "Placeholder", "parse_query"]
 
 
 class ParseError(ValueError):
@@ -43,7 +49,7 @@ _TOKEN_RE = re.compile(
         (?P<string>'[^']*')
       | (?P<number>-?\d+)
       | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
-      | (?P<symbol>[*,.=()])
+      | (?P<symbol>[*,.=()?])
     )
     """,
     re.VERBOSE,
@@ -78,6 +84,20 @@ def _tokenize(text):
     return tokens
 
 
+@dataclass(frozen=True)
+class Placeholder:
+    """A ``?`` parameter marker in a selection predicate.
+
+    ``index`` is the 0-based position among the query's placeholders in
+    source order; :meth:`ParsedQuery.bind` substitutes constants by it.
+    """
+
+    index: int
+
+    def __repr__(self):
+        return f"?{self.index}"
+
+
 @dataclass
 class ParsedQuery:
     """The parsed form: relations, join predicates, selections."""
@@ -97,6 +117,51 @@ class ParsedQuery:
                 f"unknown relation alias {alias!r}; "
                 f"known: {sorted(self.relations)}"
             ) from None
+
+    @property
+    def placeholders(self):
+        """All :class:`Placeholder` markers, in source (index) order."""
+        found = [
+            literal
+            for predicate in self.selections.values()
+            for literal in predicate.values()
+            if isinstance(literal, Placeholder)
+        ]
+        return sorted(found, key=lambda p: p.index)
+
+    @property
+    def num_placeholders(self):
+        return len(self.placeholders)
+
+    def bind(self, *params):
+        """Substitute constants for the ``?`` placeholders.
+
+        Returns a new :class:`ParsedQuery` whose selections carry the
+        given constants; ``params`` are matched to placeholders in
+        source order and must bind every placeholder exactly.
+        """
+        expected = self.num_placeholders
+        if len(params) != expected:
+            raise ValueError(
+                f"query has {expected} placeholder(s), got {len(params)} "
+                f"parameter(s)"
+            )
+        selections = {
+            alias: {
+                column: (
+                    params[literal.index]
+                    if isinstance(literal, Placeholder)
+                    else literal
+                )
+                for column, literal in predicate.items()
+            }
+            for alias, predicate in self.selections.items()
+        }
+        return ParsedQuery(
+            relations=dict(self.relations),
+            join_predicates=list(self.join_predicates),
+            selections=selections,
+        )
 
     def is_acyclic(self):
         """True when the join predicates form a forest over relations."""
@@ -176,6 +241,7 @@ class _Parser:
     def __init__(self, tokens):
         self.tokens = tokens
         self.pos = 0
+        self.num_placeholders = 0
 
     def peek(self):
         return self.tokens[self.pos] if self.pos < len(self.tokens) else None
@@ -243,9 +309,26 @@ class _Parser:
             token = self.peek()
             if token is None:
                 raise ParseError("dangling '='")
-            if token[0] in ("number", "string"):
-                literal = self.next()[1]
-                selections.setdefault(alias_a, {})[attr_a] = literal
+            if token[0] in ("number", "string") or token == ("symbol", "?"):
+                if token == ("symbol", "?"):
+                    self.next()
+                    literal = Placeholder(self.num_placeholders)
+                    self.num_placeholders += 1
+                else:
+                    literal = self.next()[1]
+                predicate = selections.setdefault(alias_a, {})
+                # A repeated selection on the same column would silently
+                # drop a placeholder (leaving a bind() index gap), so
+                # reject the duplicate outright when one is involved.
+                if attr_a in predicate and (
+                    isinstance(literal, Placeholder)
+                    or isinstance(predicate[attr_a], Placeholder)
+                ):
+                    raise ParseError(
+                        f"duplicate selection on {alias_a}.{attr_a} with a "
+                        f"'?' placeholder"
+                    )
+                predicate[attr_a] = literal
             else:
                 alias_b, attr_b = self._parse_colref(relations)
                 if alias_a == alias_b:

@@ -15,7 +15,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["EdgeStats", "QueryStats", "stats_from_data"]
+from .lru import LRUCache
+
+__all__ = [
+    "EdgeStats",
+    "QueryStats",
+    "StatsCache",
+    "query_signature",
+    "stats_from_data",
+]
 
 
 @dataclass(frozen=True)
@@ -127,6 +135,58 @@ class QueryStats:
             f"QueryStats(N={self.driver_size:g}, "
             f"edges={{{', '.join(sorted(self.edge_stats))}}})"
         )
+
+
+def query_signature(query):
+    """A hashable structural signature of a rooted join query.
+
+    Two :class:`~repro.core.query.JoinQuery` instances with the same
+    driver and the same directed edges produce the same signature
+    (edge declaration order is canonicalized away), so caches keyed on
+    it survive re-parsing / re-construction.
+    """
+    return (
+        query.root,
+        tuple(sorted(
+            (edge.parent, edge.child, edge.parent_attr, edge.child_attr)
+            for edge in query.edges
+        )),
+    )
+
+
+class StatsCache:
+    """Memoizes derived :class:`QueryStats` across repeated planning.
+
+    Statistics derivation (:func:`stats_from_data`, or sampling) scans
+    data and builds hash indexes — by far the dominant cost of planning
+    a repeated query.  Entries are keyed on a *data token* (typically
+    the catalog fingerprint plus any pushed-down selection constants —
+    see :meth:`repro.planner.Planner.plan`), the rooted query signature
+    and the derivation method, so any data change or different rooting
+    naturally misses.
+    """
+
+    def __init__(self, capacity=256):
+        self._cache = LRUCache(capacity)
+
+    @property
+    def stats(self):
+        """Hit/miss/eviction counters (:class:`repro.core.lru.CacheStats`)."""
+        return self._cache.stats
+
+    def __len__(self):
+        return len(self._cache)
+
+    def get_or_derive(self, data_token, query, method, derive):
+        """Return cached stats for the key, deriving via ``derive()`` on miss."""
+        key = (data_token, query_signature(query), str(method))
+        return self._cache.get_or_compute(key, derive)
+
+    def clear(self):
+        self._cache.clear()
+
+    def __repr__(self):
+        return f"StatsCache({self._cache!r})"
 
 
 def stats_from_data(catalog, query):

@@ -21,7 +21,6 @@ import numpy as np
 
 from ..core.costmodel import CostWeights
 from ..modes import ExecutionMode
-from ..storage.hashindex import HashIndex
 from .bitvector import BitvectorFilter
 from .factorized import FactorizedResult
 from .semijoin import full_reduction

@@ -25,12 +25,28 @@ from .core.costmodel import CostWeights, plan_cost
 from .core.optimizer import exhaustive_optimal, greedy_order, optimize_sj
 from .core.parser import ParsedQuery, parse_query
 from .core.query import JoinQuery
-from .core.stats import EdgeStats, QueryStats, stats_from_data
+from .core.stats import EdgeStats, QueryStats, StatsCache, stats_from_data
 from .engine.executor import execute
 from .modes import ExecutionMode
 from .storage.table import Catalog, Table
 
-__all__ = ["PhysicalPlan", "Planner", "push_down_selections"]
+__all__ = ["PhysicalPlan", "Planner", "filtered_table",
+           "push_down_selections"]
+
+
+def filtered_table(table, alias, predicate):
+    """A :class:`Table` named ``alias`` holding the rows matching
+    ``predicate`` ({column: literal} constant selections)."""
+    if predicate:
+        mask = np.ones(len(table), dtype=bool)
+        for column, literal in predicate.items():
+            mask &= table.column(column) == literal
+        columns = {
+            name: values[mask] for name, values in table.columns.items()
+        }
+    else:
+        columns = dict(table.columns)
+    return Table(alias, columns)
 
 
 def push_down_selections(catalog, parsed):
@@ -44,16 +60,7 @@ def push_down_selections(catalog, parsed):
     for alias, table_name in parsed.relations.items():
         table = catalog.table(table_name)
         predicate = parsed.selections.get(alias, {})
-        if predicate:
-            mask = np.ones(len(table), dtype=bool)
-            for column, literal in predicate.items():
-                mask &= table.column(column) == literal
-            columns = {
-                name: values[mask] for name, values in table.columns.items()
-            }
-        else:
-            columns = dict(table.columns)
-        derived.add(Table(alias, columns))
+        derived.add(filtered_table(table, alias, predicate))
     return derived
 
 
@@ -130,25 +137,53 @@ class Planner:
         Operation weights used to compare strategies (Section 5.4).
     eps:
         Assumed bitvector false-positive rate for BVP costing.
+    stats_cache:
+        Optional :class:`~repro.core.stats.StatsCache` (or ``True`` for
+        a default-sized one).  When set, statistics derived for a
+        (catalog contents, selections, rooted query, method) key are
+        reused across ``plan()`` calls instead of being recomputed from
+        data; the catalog fingerprint in the key invalidates entries
+        automatically when the data changes.
     """
 
     #: optimizer choices exposed to ``plan()``
     OPTIMIZERS = ("exhaustive", "survival", "rank", "result_size")
 
-    def __init__(self, catalog, weights=None, eps=0.01):
+    def __init__(self, catalog, weights=None, eps=0.01, stats_cache=None):
         self.catalog = catalog
         self.weights = weights or CostWeights()
         self.eps = eps
+        if stats_cache is True:
+            stats_cache = StatsCache()
+        self.stats_cache = stats_cache
 
     # ------------------------------------------------------------------
     # Statistics
     # ------------------------------------------------------------------
 
     def derive_stats(self, catalog, query, method="exact",
-                     sample_fraction=0.05, seed=0):
-        """QueryStats for a rooted query: exact or sampling-based."""
+                     sample_fraction=0.05, seed=0, data_token=None):
+        """QueryStats for a rooted query: exact or sampling-based.
+
+        ``data_token`` is an opaque hashable describing the data the
+        stats are derived from (catalog fingerprint + selections); when
+        both it and :attr:`stats_cache` are present, derivation is
+        memoized.
+        """
         if isinstance(method, QueryStats):
             return method
+        if self.stats_cache is not None and data_token is not None:
+            method_key = method
+            if method == "sampling":
+                method_key = f"sampling:{sample_fraction}:{seed}"
+            return self.stats_cache.get_or_derive(
+                data_token,
+                query,
+                method_key,
+                lambda: self.derive_stats(
+                    catalog, query, method, sample_fraction, seed
+                ),
+            )
         if method == "exact":
             return stats_from_data(catalog, query)
         if method == "sampling":
@@ -231,13 +266,32 @@ class Planner:
                 f"optimizer must be one of {self.OPTIMIZERS}, got {optimizer!r}"
             )
         catalog = self.catalog
+        data_token = None
         if isinstance(query, str):
             query = parse_query(query)
         if isinstance(query, ParsedQuery):
+            if query.num_placeholders:
+                raise ValueError(
+                    "query has unbound '?' placeholders; bind constants "
+                    "with ParsedQuery.bind(...) or plan it through "
+                    "QuerySession.prepare(...)"
+                )
             catalog = push_down_selections(catalog, query)
             join_query = query.to_join_query()
+            if self.stats_cache is not None:
+                data_token = (
+                    self.catalog.fingerprint(),
+                    tuple(sorted(query.relations.items())),
+                    tuple(sorted(
+                        (alias, column, literal)
+                        for alias, predicate in query.selections.items()
+                        for column, literal in predicate.items()
+                    )),
+                )
         elif isinstance(query, JoinQuery):
             join_query = query
+            if self.stats_cache is not None:
+                data_token = (self.catalog.fingerprint(),)
         else:
             raise TypeError(
                 f"query must be SQL text, ParsedQuery or JoinQuery; "
@@ -255,7 +309,8 @@ class Planner:
         best = None
         for root in drivers:
             rooted = join_query.rerooted(root)
-            rooted_stats = self.derive_stats(catalog, rooted, stats)
+            rooted_stats = self.derive_stats(catalog, rooted, stats,
+                                             data_token=data_token)
             for candidate_mode in modes:
                 order, child_orders = self._order_for_mode(
                     rooted, rooted_stats, candidate_mode, optimizer

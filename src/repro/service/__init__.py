@@ -1,0 +1,22 @@
+"""Service layer: cached planning, prepared statements, batch execution.
+
+The subsystem a long-lived process (a server, a benchmark harness)
+would use instead of calling the planner directly:
+
+* :class:`QuerySession` — plan cache + stats cache + batched execution;
+* :class:`PreparedStatement` — plan once, execute many with new
+  selection constants (``?`` placeholders);
+* :class:`PlanCache` / :func:`normalized_query_key` — the cache layer,
+  reusable on its own.
+"""
+
+from .plancache import PlanCache, normalized_query_key
+from .session import PreparedStatement, QueryReport, QuerySession
+
+__all__ = [
+    "PlanCache",
+    "PreparedStatement",
+    "QueryReport",
+    "QuerySession",
+    "normalized_query_key",
+]

@@ -1,0 +1,401 @@
+"""The query-service layer: cached planning, prepared statements, batches.
+
+:class:`QuerySession` wraps a :class:`~repro.planner.Planner` the way a
+server would: every ``plan()`` goes through an LRU **plan cache** keyed
+on normalized query structure + catalog fingerprint (so replanning a
+repeated query is a dictionary lookup, and any data change invalidates
+automatically), statistics derivation is memoized in a
+:class:`~repro.core.stats.StatsCache`, **prepared statements** plan a
+parameterized query once and re-execute it with fresh constants, and
+``execute_many()`` runs a batch under per-query budgets with timing.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+
+from ..core.parser import ParsedQuery, Placeholder, parse_query
+from ..core.stats import QueryStats, StatsCache
+from ..engine import BudgetExceededError
+from ..planner import Planner, filtered_table
+from .plancache import PlanCache
+
+__all__ = ["PreparedStatement", "QueryReport", "QuerySession"]
+
+#: default per-query intermediate-tuple budget (matches PhysicalPlan)
+DEFAULT_BUDGET = 50_000_000
+
+
+@dataclass
+class QueryReport:
+    """Outcome of one service-level query execution.
+
+    ``planning_seconds`` covers cache lookup + (on a miss) planning;
+    ``execution_seconds`` the engine run.  ``timed_out`` is set when the
+    per-query intermediate-tuple budget was exceeded, ``error`` for any
+    other planning or execution failure — service-level executions
+    never raise; always check :attr:`ok` (or :attr:`error`) before
+    using :attr:`result`.
+    """
+
+    query: object
+    plan: object = None
+    result: object = None
+    cache_hit: bool = False
+    planning_seconds: float = 0.0
+    execution_seconds: float = 0.0
+    timed_out: bool = False
+    error: Exception = None
+
+    @property
+    def ok(self):
+        return self.error is None and not self.timed_out
+
+    @property
+    def total_seconds(self):
+        return self.planning_seconds + self.execution_seconds
+
+    def __repr__(self):
+        status = "ok" if self.ok else ("timeout" if self.timed_out else "error")
+        return (
+            f"QueryReport({status}, cache_hit={self.cache_hit}, "
+            f"plan={self.planning_seconds * 1e3:.2f}ms, "
+            f"exec={self.execution_seconds * 1e3:.2f}ms)"
+        )
+
+
+def _reported_run(query, plan_phase):
+    """Shared plan/execute/report scaffolding for service executions.
+
+    ``plan_phase()`` returns ``(plan, cache_hit, run)`` where ``run()``
+    performs the engine execution; any planning failure, budget overrun
+    or engine error is recorded in the returned :class:`QueryReport`
+    instead of raising.
+    """
+    t0 = time.perf_counter()
+    try:
+        plan, cache_hit, run = plan_phase()
+    except Exception as exc:  # noqa: BLE001 - reported, not swallowed
+        return QueryReport(
+            query=query, error=exc,
+            planning_seconds=time.perf_counter() - t0,
+        )
+    t1 = time.perf_counter()
+    report = QueryReport(
+        query=query, plan=plan, cache_hit=cache_hit,
+        planning_seconds=t1 - t0,
+    )
+    try:
+        report.result = run()
+    except BudgetExceededError:
+        report.timed_out = True
+    except Exception as exc:  # noqa: BLE001
+        report.error = exc
+    report.execution_seconds = time.perf_counter() - t1
+    return report
+
+
+class QuerySession:
+    """A reusable planning/execution session over one catalog.
+
+    Parameters
+    ----------
+    catalog:
+        The :class:`~repro.storage.Catalog` to serve queries against.
+    weights, eps:
+        Forwarded to the underlying :class:`~repro.planner.Planner`.
+    plan_cache_size:
+        LRU capacity of the plan cache (``None`` for unbounded).
+    stats_cache_size:
+        LRU capacity of the statistics cache.
+    """
+
+    def __init__(self, catalog, weights=None, eps=0.01, plan_cache_size=128,
+                 stats_cache_size=256):
+        self.catalog = catalog
+        self.planner = Planner(
+            catalog, weights=weights, eps=eps,
+            stats_cache=StatsCache(stats_cache_size),
+        )
+        self.plan_cache = PlanCache(plan_cache_size)
+        self._last_fingerprint = None
+
+    # ------------------------------------------------------------------
+    # Cached planning
+    # ------------------------------------------------------------------
+
+    def _plan_options(self, mode, optimizer, driver, stats, flat_output):
+        return (
+            str(mode),
+            optimizer,
+            driver,
+            str(stats),
+            bool(flat_output),
+            self.planner.eps,
+            self.planner.weights,  # frozen dataclass: hashable as-is
+        )
+
+    def plan(self, query, mode="auto", optimizer="exhaustive", driver="fixed",
+             stats="exact", flat_output=True, use_cache=True):
+        """A :class:`~repro.planner.PhysicalPlan`, via the plan cache.
+
+        Accepts the same arguments as :meth:`Planner.plan`.  Plans are
+        cached per (normalized query structure, catalog fingerprint,
+        planning options); prebuilt :class:`QueryStats` bypass the cache
+        (they are caller state the key cannot see).
+        """
+        if isinstance(query, str):
+            # parse once: the cache key and the planner share the result
+            query = parse_query(query)
+        if use_cache and not isinstance(stats, QueryStats):
+            fingerprint = self.catalog.fingerprint()
+            if self._last_fingerprint != fingerprint:
+                # Entries for superseded data are unreachable by key
+                # (plans pin their whole derived catalog, so letting
+                # them linger until LRU churn wastes real memory).
+                if self._last_fingerprint is not None:
+                    self.plan_cache.clear()
+                self._last_fingerprint = fingerprint
+            key = self.plan_cache.key(
+                query,
+                fingerprint,
+                self._plan_options(mode, optimizer, driver, stats,
+                                   flat_output),
+            )
+            plan = self.plan_cache.get(key)
+            if plan is None:
+                plan = self.planner.plan(
+                    query, mode=mode, optimizer=optimizer, driver=driver,
+                    stats=stats, flat_output=flat_output,
+                )
+                self.plan_cache.put(key, plan)
+            return plan
+        return self.planner.plan(
+            query, mode=mode, optimizer=optimizer, driver=driver,
+            stats=stats, flat_output=flat_output,
+        )
+
+    def explain(self, query, **plan_kwargs):
+        """The ``explain()`` text of the (possibly cached) plan."""
+        return self.plan(query, **plan_kwargs).explain()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def execute(self, query, flat_output=True, collect_output=False,
+                max_intermediate_tuples=DEFAULT_BUDGET, **plan_kwargs):
+        """Plan (through the cache) and run one query; returns a report."""
+
+        def plan_phase():
+            hits_before = self.plan_cache.stats.hits
+            plan = self.plan(query, flat_output=flat_output, **plan_kwargs)
+            cache_hit = self.plan_cache.stats.hits > hits_before
+
+            def run():
+                return plan.execute(
+                    flat_output=flat_output,
+                    collect_output=collect_output,
+                    max_intermediate_tuples=max_intermediate_tuples,
+                )
+
+            return plan, cache_hit, run
+
+        return _reported_run(query, plan_phase)
+
+    def execute_many(self, queries, budgets=None,
+                     max_intermediate_tuples=DEFAULT_BUDGET,
+                     flat_output=True, collect_output=False, **plan_kwargs):
+        """Run a batch of queries; one :class:`QueryReport` each.
+
+        ``budgets`` optionally gives a per-query intermediate-tuple
+        budget (a sequence aligned with ``queries``); otherwise
+        ``max_intermediate_tuples`` applies to every query.  Failures
+        and budget overruns are recorded in the reports — the batch
+        always completes.
+        """
+        queries = list(queries)
+        if budgets is not None:
+            budgets = list(budgets)
+            if len(budgets) != len(queries):
+                raise ValueError(
+                    f"got {len(budgets)} budgets for {len(queries)} queries"
+                )
+        else:
+            budgets = [max_intermediate_tuples] * len(queries)
+        return [
+            self.execute(
+                query,
+                flat_output=flat_output,
+                collect_output=collect_output,
+                max_intermediate_tuples=budget,
+                **plan_kwargs,
+            )
+            for query, budget in zip(queries, budgets)
+        ]
+
+    # ------------------------------------------------------------------
+    # Prepared statements
+    # ------------------------------------------------------------------
+
+    def prepare(self, query, **plan_kwargs):
+        """A :class:`PreparedStatement` for a ``?``-parameterized query."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        if not isinstance(query, ParsedQuery):
+            raise TypeError(
+                f"prepare() takes SQL text or a ParsedQuery; "
+                f"got {type(query).__name__}"
+            )
+        return PreparedStatement(self, query, plan_kwargs)
+
+    def cache_info(self):
+        """Plan- and stats-cache counters, for monitoring."""
+        return {
+            "plan_cache": self.plan_cache.stats,
+            "stats_cache": self.planner.stats_cache.stats,
+        }
+
+    def __repr__(self):
+        return (
+            f"QuerySession(tables={len(self.catalog.table_names)}, "
+            f"plans={len(self.plan_cache)})"
+        )
+
+
+@dataclass
+class PreparedStatement:
+    """Plan once, execute many times with fresh selection constants.
+
+    The join *structure* (driver, join order, execution mode, semi-join
+    child orders) is optimized on the first execution and reused for
+    every subsequent binding — only the selection push-down and the
+    engine run are repeated.  The structural plan is tied to the
+    catalog fingerprint observed when it was built; if the data
+    changes, the next execution transparently replans.
+
+    Note the reused order is the one optimal for the *first* binding's
+    statistics; a binding with wildly different selectivities executes
+    correctly but may run a suboptimal order — call :meth:`invalidate`
+    to force a replan.
+    """
+
+    session: QuerySession
+    parsed: ParsedQuery
+    plan_kwargs: dict = field(default_factory=dict)
+    _template: object = None
+    _template_fingerprint: str = None
+    _template_flat_output: bool = None
+    executions: int = 0
+
+    @property
+    def num_params(self):
+        return self.parsed.num_placeholders
+
+    @property
+    def _dynamic_aliases(self):
+        """Aliases whose selection carries a ``?`` (re-filtered per bind)."""
+        return [
+            alias
+            for alias, predicate in self.parsed.selections.items()
+            if any(isinstance(v, Placeholder) for v in predicate.values())
+        ]
+
+    def _rebind_catalog(self, bound):
+        """Derived catalog for a new binding, re-filtering only the
+        placeholder-bearing relations.
+
+        Unchanged relations (and their already-built hash indexes) are
+        shared from the template's catalog, so re-execution cost is
+        proportional to the parameterized tables only.
+        """
+        replacements = {
+            alias: filtered_table(
+                self.session.catalog.table(self.parsed.relations[alias]),
+                alias,
+                bound.selections.get(alias, {}),
+            )
+            for alias in self._dynamic_aliases
+        }
+        return self._template.catalog.derived_with(replacements)
+
+    def invalidate(self):
+        """Drop the structural plan; the next execution replans."""
+        self._template = None
+        self._template_fingerprint = None
+        self._template_flat_output = None
+
+    def _structural_plan(self, bound, flat_output):
+        """(template plan, fresh?, served from any cache?) for the shape.
+
+        The template is keyed to the catalog fingerprint *and* the
+        requested output shape: ``flat_output`` feeds the cost model's
+        mode choice, so executing a template planned for the other
+        shape would lock in a systematically suboptimal strategy.
+
+        Even a "fresh" template may be served from the session's plan
+        cache (e.g. a second statement prepared over the same SQL);
+        that still counts as a cache hit for reporting.
+        """
+        fingerprint = self.session.catalog.fingerprint()
+        if (
+            self._template is None
+            or self._template_fingerprint != fingerprint
+            or self._template_flat_output != flat_output
+        ):
+            kwargs = dict(self.plan_kwargs)
+            kwargs["flat_output"] = flat_output
+            hits_before = self.session.plan_cache.stats.hits
+            self._template = self.session.plan(bound, **kwargs)
+            cache_hit = self.session.plan_cache.stats.hits > hits_before
+            self._template_fingerprint = fingerprint
+            self._template_flat_output = flat_output
+            return self._template, True, cache_hit
+        return self._template, False, True
+
+    def execute(self, *params, flat_output=None, collect_output=False,
+                max_intermediate_tuples=DEFAULT_BUDGET):
+        """Bind ``params`` to the placeholders and run; returns a report.
+
+        ``flat_output`` defaults to the shape requested at
+        :meth:`QuerySession.prepare` time (via its ``plan_kwargs``),
+        falling back to flat; passing it here overrides per execution.
+        """
+        if flat_output is None:
+            flat_output = self.plan_kwargs.get("flat_output", True)
+        bound = self.parsed.bind(*params)
+
+        def plan_phase():
+            template, fresh, cache_hit = self._structural_plan(
+                bound, flat_output
+            )
+            if fresh:
+                # The template was planned against exactly this binding;
+                # its derived catalog already has the selections pushed
+                # down.
+                catalog = template.catalog
+            else:
+                catalog = self._rebind_catalog(bound)
+
+            def run():
+                # Same plan, re-bound catalog: PhysicalPlan.execute keeps
+                # the engine invocation in one place.
+                return replace(template, catalog=catalog).execute(
+                    flat_output=flat_output,
+                    collect_output=collect_output,
+                    max_intermediate_tuples=max_intermediate_tuples,
+                )
+
+            return template, cache_hit, run
+
+        report = _reported_run(bound, plan_phase)
+        self.executions += 1
+        return report
+
+    def __repr__(self):
+        return (
+            f"PreparedStatement(params={self.num_params}, "
+            f"planned={self._template is not None}, "
+            f"executions={self.executions})"
+        )

@@ -8,6 +8,8 @@ engine passes row-index arrays around instead of copying payloads.  The
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from .chunk import DEFAULT_CHUNK_SIZE, iter_chunks
@@ -39,9 +41,43 @@ class Table:
                 )
             self.columns[col_name] = arr
         self.num_rows = n
+        self._fingerprint = None
 
     def __len__(self):
         return self.num_rows
+
+    def fingerprint(self):
+        """A stable content digest of the table (hex string, cached).
+
+        Covers the table name, schema (column names, dtypes) and the
+        raw column bytes, so two tables with identical data fingerprint
+        identically and any data change is detected.  Tables are
+        immutable by convention, so the digest is computed once and
+        cached; it anchors the statistics and plan caches (a plan or
+        stats entry is only reusable while every input table's
+        fingerprint is unchanged).
+        """
+        if self._fingerprint is None:
+            digest = hashlib.blake2b(digest_size=16)
+
+            def feed(payload):
+                # length-prefix every field so adjacent fields can never
+                # be re-split into a colliding stream
+                digest.update(str(len(payload)).encode() + b":")
+                digest.update(payload)
+
+            feed(self.name.encode())
+            feed(str(self.num_rows).encode())
+            for col_name in sorted(self.columns):
+                values = self.columns[col_name]
+                feed(col_name.encode())
+                feed(str(values.dtype).encode())
+                if values.dtype.hasobject:
+                    feed(repr(values.tolist()).encode())
+                else:
+                    feed(np.ascontiguousarray(values).tobytes())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     def __repr__(self):
         return f"Table({self.name!r}, rows={self.num_rows}, columns={list(self.columns)})"
@@ -87,12 +123,17 @@ class Catalog:
     def __init__(self):
         self._tables = {}
         self._indexes = {}
+        #: bumped on every mutation; guards the cached fingerprint
+        self._version = 0
+        self._fingerprint = None
+        self._fingerprint_version = -1
 
     def add(self, table):
         """Register a table (replacing any previous table of that name)."""
         if not isinstance(table, Table):
             raise TypeError(f"expected Table, got {type(table).__name__}")
         self._tables[table.name] = table
+        self._version += 1
         # Invalidate any cached indexes for the replaced table.
         self._indexes = {
             key: idx for key, idx in self._indexes.items() if key[0] != table.name
@@ -118,6 +159,33 @@ class Catalog:
     def table_names(self):
         return list(self._tables)
 
+    @property
+    def version(self):
+        """Monotone counter bumped whenever a table is (re)registered."""
+        return self._version
+
+    def fingerprint(self):
+        """A stable digest of the whole catalog's contents (hex string).
+
+        Combines every table's :meth:`Table.fingerprint`.  Cached
+        against the catalog :attr:`version`, so repeated calls between
+        mutations are O(#tables) dictionary work, not O(data); the
+        per-table content digests themselves are computed at most once
+        per table.  Statistics and plan caches key on this value to
+        invalidate automatically when the data changes.
+        """
+        if self._fingerprint_version != self._version:
+            digest = hashlib.blake2b(digest_size=16)
+            for name in sorted(self._tables):
+                payload = name.encode()
+                digest.update(str(len(payload)).encode() + b":")
+                digest.update(payload)
+                # table fingerprints are fixed-width hex: no prefix needed
+                digest.update(self._tables[name].fingerprint().encode())
+            self._fingerprint = digest.hexdigest()
+            self._fingerprint_version = self._version
+        return self._fingerprint
+
     def hash_index(self, table_name, attribute):
         """Return (building if necessary) the hash index on an attribute."""
         key = (table_name, attribute)
@@ -127,6 +195,29 @@ class Catalog:
             index = HashIndex(table.column(attribute))
             self._indexes[key] = index
         return index
+
+    def derived_with(self, replacements):
+        """A shallow derivative catalog with some tables replaced.
+
+        Returns a new :class:`Catalog` that shares this catalog's
+        tables *and their already-built hash indexes* (tables are
+        immutable by convention, so sharing is safe), except for the
+        given ``{name: Table}`` replacements, whose indexes are
+        rebuilt lazily.  Used by prepared statements to re-bind
+        selection constants without re-deriving the unchanged
+        relations.
+        """
+        derived = Catalog()
+        derived._tables = dict(self._tables)
+        derived._version = 1
+        derived._indexes = {
+            key: index
+            for key, index in self._indexes.items()
+            if key[0] not in replacements
+        }
+        for table in replacements.values():
+            derived.add(table)
+        return derived
 
     def invalidate_indexes(self, table_name=None):
         """Drop cached indexes (all, or for one table)."""

@@ -6,6 +6,7 @@ import sys
 import pytest
 
 from repro.bench.__main__ import main
+from tests.helpers import subprocess_env
 
 
 def test_requires_an_argument(capsys):
@@ -18,13 +19,31 @@ def test_unknown_figure_rejected():
         main(["--figure", "99"])
 
 
+def test_rejects_bad_jobs():
+    with pytest.raises(SystemExit):
+        main(["--all", "--jobs", "0"])
+
+
+def test_figure_and_all_mutually_exclusive():
+    with pytest.raises(SystemExit):
+        main(["--all", "--figure", "4"])
+
+
 def test_figure_13_via_subprocess():
     completed = subprocess.run(
         [sys.executable, "-m", "repro.bench", "--figure", "13"],
         capture_output=True,
         text=True,
         timeout=300,
+        env=subprocess_env(),
     )
     assert completed.returncode == 0
     assert "Figure 13" in completed.stdout
     assert "estimated_cost" in completed.stdout
+
+
+def test_smoke_single_figure_in_process(capsys):
+    assert main(["--figure", "13", "--smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 13 (smoke): ok" in out
+    assert "estimated_cost" in out

@@ -13,7 +13,7 @@ from repro.bench.runner import (
 )
 from repro.modes import ExecutionMode
 
-from ..conftest import make_running_example_query, make_small_catalog
+from tests.helpers import make_running_example_query, make_small_catalog
 
 
 def test_run_all_modes_produces_all_entries():

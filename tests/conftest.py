@@ -1,33 +1,14 @@
-"""Shared fixtures: the paper's running example, reference evaluators."""
+"""Shared fixtures, built on the factories in :mod:`tests.helpers`."""
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.core import EdgeStats, JoinEdge, JoinQuery, QueryStats
-from repro.storage import Catalog
-
-# ----------------------------------------------------------------------
-# The paper's running example (Figure 1): R1 drives; R2 and R5 join on
-# R1's attributes; R3, R4 join on R2's; R6 joins on R5's.
-# ----------------------------------------------------------------------
-
-RUNNING_EXAMPLE_M = {"R2": 0.3, "R3": 0.4, "R4": 0.5, "R5": 0.6, "R6": 0.7}
-RUNNING_EXAMPLE_FO = {"R2": 3.0, "R3": 2.0, "R4": 4.0, "R5": 5.0, "R6": 2.0}
-
-
-def make_running_example_query():
-    return JoinQuery(
-        "R1",
-        [
-            JoinEdge("R1", "R2", "B", "B"),
-            JoinEdge("R2", "R3", "C", "C"),
-            JoinEdge("R2", "R4", "D", "D"),
-            JoinEdge("R1", "R5", "E", "E"),
-            JoinEdge("R5", "R6", "F", "F"),
-        ],
-    )
+from tests.helpers import (
+    make_running_example_query,
+    make_running_example_stats,
+    make_small_catalog,
+)
 
 
 @pytest.fixture
@@ -37,82 +18,9 @@ def running_example_query():
 
 @pytest.fixture
 def running_example_stats():
-    return QueryStats(
-        1000.0,
-        {
-            rel: EdgeStats(RUNNING_EXAMPLE_M[rel], RUNNING_EXAMPLE_FO[rel])
-            for rel in RUNNING_EXAMPLE_M
-        },
-        relation_sizes={
-            "R1": 1000, "R2": 800, "R3": 600,
-            "R4": 500, "R5": 700, "R6": 400,
-        },
-    )
-
-
-# ----------------------------------------------------------------------
-# Small concrete data for engine tests
-# ----------------------------------------------------------------------
-
-
-def make_small_catalog(seed=42, driver_rows=60):
-    """A random instantiation of the running example's schema."""
-    rng = np.random.default_rng(seed)
-    catalog = Catalog()
-    catalog.add_table("R1", {
-        "A": np.arange(driver_rows),
-        "B": rng.integers(0, 8, driver_rows),
-        "E": rng.integers(0, 6, driver_rows),
-    })
-    catalog.add_table("R2", {
-        "B": rng.integers(0, 10, 50),
-        "C": rng.integers(0, 7, 50),
-        "D": rng.integers(0, 9, 50),
-    })
-    catalog.add_table("R3", {"C": rng.integers(0, 9, 40), "G": rng.integers(0, 5, 40)})
-    catalog.add_table("R4", {"D": rng.integers(0, 11, 30), "H": rng.integers(0, 5, 30)})
-    catalog.add_table("R5", {"E": rng.integers(0, 8, 35), "F": rng.integers(0, 6, 35)})
-    catalog.add_table("R6", {"F": rng.integers(0, 8, 25), "K": rng.integers(0, 5, 25)})
-    return catalog
+    return make_running_example_stats()
 
 
 @pytest.fixture
 def small_catalog():
     return make_small_catalog()
-
-
-# ----------------------------------------------------------------------
-# Brute-force reference evaluator
-# ----------------------------------------------------------------------
-
-
-def brute_force_join(catalog, query):
-    """Evaluate the join naively; returns sorted row-index tuples.
-
-    Tuple component order follows ``query.relations``.  Exponential —
-    only for small test inputs.
-    """
-    tables = {rel: catalog.table(rel) for rel in query.relations}
-    rows = [{query.root: i} for i in range(len(tables[query.root]))]
-    for edge in query.edges:
-        parent_col = tables[edge.parent].column(edge.parent_attr)
-        child_col = tables[edge.child].column(edge.child_attr)
-        new_rows = []
-        for partial in rows:
-            value = parent_col[partial[edge.parent]]
-            for j in np.nonzero(child_col == value)[0]:
-                extended = dict(partial)
-                extended[edge.child] = int(j)
-                new_rows.append(extended)
-        rows = new_rows
-    return sorted(
-        tuple(partial[rel] for rel in query.relations) for partial in rows
-    )
-
-
-def result_tuples(result, query):
-    """Sorted row-index tuples from an ExecutionResult with output."""
-    if result.output_rows is None:
-        raise AssertionError("execute() was not asked to collect output")
-    columns = [result.output_rows[rel].tolist() for rel in query.relations]
-    return sorted(zip(*columns)) if columns and len(columns[0]) else []

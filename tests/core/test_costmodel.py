@@ -18,8 +18,8 @@ from repro.core import (
 )
 from repro.modes import ExecutionMode
 
-from ..conftest import RUNNING_EXAMPLE_FO as FO
-from ..conftest import RUNNING_EXAMPLE_M as M
+from tests.helpers import RUNNING_EXAMPLE_FO as FO
+from tests.helpers import RUNNING_EXAMPLE_M as M
 
 N = 1000.0
 ORDER = ["R2", "R3", "R5", "R4", "R6"]

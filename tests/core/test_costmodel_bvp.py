@@ -4,8 +4,8 @@ import pytest
 
 from repro.core import bvp_plan_cost, com_probes_per_join, std_probes_per_join
 
-from ..conftest import RUNNING_EXAMPLE_FO as FO
-from ..conftest import RUNNING_EXAMPLE_M as M
+from tests.helpers import RUNNING_EXAMPLE_FO as FO
+from tests.helpers import RUNNING_EXAMPLE_M as M
 
 N = 1000.0
 EPS = 0.05

@@ -11,8 +11,8 @@ from repro.core import (
     sj_plan_cost,
 )
 
-from ..conftest import RUNNING_EXAMPLE_FO as FO
-from ..conftest import RUNNING_EXAMPLE_M as M
+from tests.helpers import RUNNING_EXAMPLE_FO as FO
+from tests.helpers import RUNNING_EXAMPLE_M as M
 
 
 class TestTheorem34:

@@ -1,0 +1,78 @@
+"""The shared LRU cache (repro.core.lru)."""
+
+import pytest
+
+from repro.core.lru import CacheStats, LRUCache
+
+
+def test_basic_get_put_and_counters():
+    cache = LRUCache(capacity=2)
+    assert cache.get("a") is None
+    cache.put("a", 1)
+    assert cache.get("a") == 1
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+    assert cache.stats.hit_rate == 0.5
+
+
+def test_lru_eviction_order():
+    cache = LRUCache(capacity=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.get("a")          # refresh a's recency; b is now LRU
+    cache.put("c", 3)
+    assert "b" not in cache
+    assert "a" in cache and "c" in cache
+    assert cache.stats.evictions == 1
+
+
+def test_overwrite_does_not_evict():
+    cache = LRUCache(capacity=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.put("a", 10)
+    assert len(cache) == 2
+    assert cache.get("a") == 10
+    assert cache.stats.evictions == 0
+
+
+def test_get_or_compute_only_computes_on_miss():
+    cache = LRUCache(capacity=4)
+    calls = []
+
+    def compute():
+        calls.append(1)
+        return "value"
+
+    assert cache.get_or_compute("k", compute) == "value"
+    assert cache.get_or_compute("k", compute) == "value"
+    assert len(calls) == 1
+    assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+
+def test_clear_counts_invalidations():
+    cache = LRUCache(capacity=4)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.stats.invalidations == 2
+
+
+def test_unbounded_capacity():
+    cache = LRUCache(capacity=None)
+    for i in range(1000):
+        cache.put(i, i)
+    assert len(cache) == 1000
+    assert cache.stats.evictions == 0
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(ValueError):
+        LRUCache(capacity=0)
+
+
+def test_cache_stats_repr_and_empty_rate():
+    stats = CacheStats()
+    assert stats.hit_rate == 0.0
+    assert "hits=0" in repr(stats)

@@ -1,0 +1,75 @@
+"""Memoized exhaustive enumeration must match the unmemoized DP exactly."""
+
+import pytest
+
+from repro.core.costmodel import CostMemo
+from repro.core.optimizer import exhaustive_optimal
+from repro.modes import ExecutionMode
+from repro.workloads.random_trees import random_join_tree, random_stats
+from repro.workloads.shapes import paper_snowflake_3_2, star
+from tests.helpers import make_running_example_query, make_running_example_stats
+
+NON_SJ_MODES = [m for m in ExecutionMode.all_modes() if not m.uses_semijoin]
+
+
+@pytest.mark.parametrize("mode", NON_SJ_MODES)
+def test_memo_identical_on_running_example(mode):
+    query = make_running_example_query()
+    stats = make_running_example_stats()
+    plain = exhaustive_optimal(query, stats, mode=mode, memoize=False)
+    memo = exhaustive_optimal(query, stats, mode=mode, memoize=True)
+    assert memo.order == plain.order
+    assert memo.cost == plain.cost  # bit-identical, not approximately
+
+
+@pytest.mark.parametrize("seed", range(6))
+@pytest.mark.parametrize("mode", NON_SJ_MODES)
+def test_memo_identical_on_random_trees(seed, mode):
+    query = random_join_tree(max_nodes=9, seed=seed)
+    stats = random_stats(query, (0.05, 0.9), seed=seed + 100)
+    plain = exhaustive_optimal(query, stats, mode=mode, memoize=False)
+    memo = exhaustive_optimal(query, stats, mode=mode, memoize=True)
+    assert memo.order == plain.order
+    assert memo.cost == plain.cost
+
+
+def test_memo_identical_on_star():
+    query = star(8)
+    stats = random_stats(query, (0.1, 0.6), seed=7)
+    for mode in NON_SJ_MODES:
+        plain = exhaustive_optimal(query, stats, mode=mode, memoize=False)
+        memo = exhaustive_optimal(query, stats, mode=mode, memoize=True)
+        assert (memo.order, memo.cost) == (plain.order, plain.cost)
+
+
+def test_memo_identical_with_custom_eps_and_probe_costs():
+    query = paper_snowflake_3_2()
+    stats = random_stats(query, (0.1, 0.5), seed=3)
+    stats.probe_costs.update(
+        {rel: 1.0 + i for i, rel in enumerate(query.non_root_relations)}
+    )
+    for eps in (0.0, 0.05):
+        plain = exhaustive_optimal(
+            query, stats, mode=ExecutionMode.BVP_COM, eps=eps, memoize=False
+        )
+        memo = exhaustive_optimal(
+            query, stats, mode=ExecutionMode.BVP_COM, eps=eps, memoize=True
+        )
+        assert (memo.order, memo.cost) == (plain.order, plain.cost)
+
+
+def test_cost_memo_structure():
+    query = make_running_example_query()
+    memo = CostMemo(query)
+    # one bit per relation, subtree masks contain the node's own bit
+    assert len(memo.bit) == query.num_relations
+    for node in query.preorder():
+        assert memo.subtree_mask[node] & memo.bit[node]
+    # the root's subtree covers everything
+    full = memo.subtree_mask[query.root]
+    for node in query.preorder():
+        assert memo.subtree_mask[node] & full == memo.subtree_mask[node]
+    # pseudo nodes are assigned fresh bits on demand
+    mask = memo.mask_of(["~bv:R3", "R2"])
+    assert mask & memo.bit["R2"]
+    assert memo.bit["~bv:R3"] not in (0, memo.bit["R2"])

@@ -1,0 +1,76 @@
+"""``?`` placeholders in the SQL parser and ParsedQuery.bind()."""
+
+import pytest
+
+from repro.core.parser import ParseError, Placeholder, parse_query
+from repro.planner import Planner
+from tests.helpers import make_small_catalog
+
+
+def test_placeholders_parse_in_source_order():
+    parsed = parse_query(
+        "select * from R1, R2 where R1.B = R2.B and R1.A = ? and R2.C = ?"
+    )
+    assert parsed.num_placeholders == 2
+    assert parsed.selections["R1"]["A"] == Placeholder(0)
+    assert parsed.selections["R2"]["C"] == Placeholder(1)
+
+
+def test_bind_substitutes_constants_without_mutating():
+    parsed = parse_query(
+        "select * from R1, R2 where R1.B = R2.B and R1.A = ? and R2.C = ?"
+    )
+    bound = parsed.bind(7, "x")
+    assert bound.selections == {"R1": {"A": 7}, "R2": {"C": "x"}}
+    assert bound.num_placeholders == 0
+    # the original template is unchanged
+    assert parsed.num_placeholders == 2
+
+
+def test_bind_arity_checked():
+    parsed = parse_query("select * from R1, R2 where R1.B = R2.B and R1.A = ?")
+    with pytest.raises(ValueError, match="1 placeholder"):
+        parsed.bind()
+    with pytest.raises(ValueError, match="1 placeholder"):
+        parsed.bind(1, 2)
+
+
+def test_bind_mixed_with_literals():
+    parsed = parse_query(
+        "select * from R1, R2 where R1.B = R2.B and R1.A = 3 and R2.C = ?"
+    )
+    bound = parsed.bind(5)
+    assert bound.selections == {"R1": {"A": 3}, "R2": {"C": 5}}
+
+
+def test_planner_rejects_unbound_placeholders():
+    planner = Planner(make_small_catalog())
+    parsed = parse_query("select * from R1, R2 where R1.B = R2.B and R2.C = ?")
+    with pytest.raises(ValueError, match="unbound"):
+        planner.plan(parsed)
+
+
+def test_placeholder_only_valid_as_literal_position():
+    with pytest.raises(ParseError):
+        parse_query("select * from R1, R2 where ? = R2.B")
+
+
+def test_duplicate_placeholder_on_same_column_rejected():
+    # A silent overwrite would leave a dangling placeholder index and
+    # make bind() raise IndexError after passing its arity check.
+    with pytest.raises(ParseError, match="duplicate selection"):
+        parse_query(
+            "select * from R1, R2 where R1.B = R2.B "
+            "and R1.A = ? and R1.A = ?"
+        )
+    with pytest.raises(ParseError, match="duplicate selection"):
+        parse_query(
+            "select * from R1, R2 where R1.B = R2.B "
+            "and R1.A = 3 and R1.A = ?"
+        )
+    # duplicate *literal* selections keep their historical
+    # last-write-wins behaviour
+    parsed = parse_query(
+        "select * from R1, R2 where R1.B = R2.B and R1.A = 3 and R1.A = 4"
+    )
+    assert parsed.selections["R1"]["A"] == 4

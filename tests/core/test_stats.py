@@ -84,3 +84,17 @@ def test_stats_from_data_no_matches():
     stats = stats_from_data(catalog, query)
     assert stats.m("S") == 0.0
     assert stats.fo("S") == 1.0
+
+
+def test_query_signature_ignores_edge_declaration_order():
+    from repro.core import query_signature
+
+    a = JoinQuery("R1", [
+        JoinEdge("R1", "R2", "B", "B"), JoinEdge("R1", "R3", "E", "E"),
+    ])
+    b = JoinQuery("R1", [
+        JoinEdge("R1", "R3", "E", "E"), JoinEdge("R1", "R2", "B", "B"),
+    ])
+    assert query_signature(a) == query_signature(b)
+    # different rooting is a different signature
+    assert query_signature(a) != query_signature(a.rerooted("R2"))

@@ -8,7 +8,7 @@ from repro.engine import BudgetExceededError, execute
 from repro.modes import ExecutionMode
 from repro.storage import Catalog
 
-from ..conftest import (
+from tests.helpers import (
     brute_force_join,
     make_running_example_query,
     make_small_catalog,

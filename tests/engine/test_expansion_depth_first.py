@@ -6,7 +6,7 @@ from repro.core import JoinEdge, JoinQuery
 from repro.engine import FactorizedResult, execute
 from repro.modes import ExecutionMode
 
-from ..conftest import make_running_example_query, make_small_catalog
+from tests.helpers import make_running_example_query, make_small_catalog
 
 
 def test_depth_first_matches_breadth_first_small():

@@ -7,7 +7,7 @@ from repro.core import JoinEdge, JoinQuery
 from repro.engine import full_reduction
 from repro.storage import Catalog
 
-from ..conftest import brute_force_join, make_running_example_query, make_small_catalog
+from tests.helpers import brute_force_join, make_running_example_query, make_small_catalog
 
 
 @pytest.fixture

@@ -6,6 +6,8 @@ from pathlib import Path
 
 import pytest
 
+from tests.helpers import subprocess_env
+
 EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
 EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
 
@@ -21,6 +23,7 @@ def test_example_runs(name):
         capture_output=True,
         text=True,
         timeout=300,
+        env=subprocess_env(),
     )
     assert completed.returncode == 0, completed.stderr[-2000:]
     assert completed.stdout.strip(), "example produced no output"

@@ -6,7 +6,6 @@ compared against a brute-force nested-loop evaluation.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -15,7 +14,7 @@ from repro.modes import ExecutionMode
 from repro.storage import Catalog
 from repro.workloads.random_trees import random_join_tree
 
-from ..conftest import brute_force_join, result_tuples
+from tests.helpers import brute_force_join, result_tuples
 
 
 def build_random_catalog(query, seed, max_rows=14, domain=6):

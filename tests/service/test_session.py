@@ -1,0 +1,152 @@
+"""QuerySession: plan-cache semantics, invalidation, batching, speedup."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import QuerySession
+from repro.core.stats import QueryStats
+from tests.helpers import (
+    brute_force_join,
+    make_running_example_stats,
+    make_small_catalog,
+    result_tuples,
+)
+
+SIX_RELATION_SQL = (
+    "select * from R1, R2, R3, R4, R5, R6 "
+    "where R1.B = R2.B and R2.C = R3.C and R2.D = R4.D "
+    "and R1.E = R5.E and R5.F = R6.F"
+)
+
+
+@pytest.fixture
+def session():
+    return QuerySession(make_small_catalog())
+
+
+def test_plan_cache_hit_and_miss(session):
+    plan_a = session.plan(SIX_RELATION_SQL)
+    assert session.plan_cache.stats.misses == 1
+    plan_b = session.plan(SIX_RELATION_SQL)
+    assert plan_b is plan_a
+    assert session.plan_cache.stats.hits == 1
+    # a structurally equal but textually different query also hits
+    shuffled = (
+        "SELECT * FROM R1, R2, R3, R4, R5, R6 "
+        "WHERE R5.F = R6.F AND R1.E = R5.E AND R2.D = R4.D "
+        "AND R2.C = R3.C AND R1.B = R2.B"
+    )
+    assert session.plan(shuffled) is plan_a
+    assert session.plan_cache.stats.hits == 2
+
+
+def test_from_order_plans_its_own_driver(session):
+    forward = "select * from R1, R5 where R1.E = R5.E"
+    reversed_from = "select * from R5, R1 where R1.E = R5.E"
+    plan_forward = session.plan(forward, mode="COM")
+    plan_reversed = session.plan(reversed_from, mode="COM")
+    assert plan_forward.query.root == "R1"
+    assert plan_reversed.query.root == "R5"
+    assert session.plan_cache.stats.misses == 2
+
+
+def test_different_options_miss(session):
+    session.plan(SIX_RELATION_SQL, mode="auto")
+    session.plan(SIX_RELATION_SQL, mode="COM")
+    assert session.plan_cache.stats.misses == 2
+
+
+def test_prebuilt_stats_bypass_cache(session):
+    stats = make_running_example_stats()
+    query = session.plan(SIX_RELATION_SQL).query  # rooted JoinQuery
+    session.plan(query, stats=stats)
+    session.plan(query, stats=stats)
+    # only the initial SQL plan populated the cache
+    assert len(session.plan_cache) == 1
+    assert isinstance(stats, QueryStats)
+
+
+def test_catalog_change_invalidates(session):
+    plan_a = session.plan(SIX_RELATION_SQL)
+    session.catalog.add_table("R6", {
+        "F": np.array([0, 1, 2]), "K": np.array([5, 6, 7]),
+    })
+    plan_b = session.plan(SIX_RELATION_SQL)
+    assert plan_b is not plan_a
+    assert session.plan_cache.stats.misses == 2
+
+
+def test_cached_plan_executes_identically(session):
+    cold = session.execute(SIX_RELATION_SQL, collect_output=True)
+    cached = session.execute(SIX_RELATION_SQL, collect_output=True)
+    assert not cold.cache_hit and cached.cache_hit
+    assert cold.ok and cached.ok
+    rows_cold = result_tuples(cold.result, cold.plan.query)
+    rows_cached = result_tuples(cached.result, cached.plan.query)
+    assert rows_cold == rows_cached
+    assert rows_cold == brute_force_join(session.catalog, cold.plan.query)
+
+
+def test_cache_hit_at_least_10x_faster(session):
+    """Acceptance: cached replan >= 10x faster than the cold plan."""
+    t0 = time.perf_counter()
+    session.plan(SIX_RELATION_SQL)
+    cold = time.perf_counter() - t0
+    hot = min(
+        _timed(lambda: session.plan(SIX_RELATION_SQL)) for _ in range(5)
+    )
+    assert session.plan_cache.stats.hits >= 5
+    assert cold / hot >= 10.0, f"cold {cold * 1e3:.2f}ms / hot {hot * 1e3:.2f}ms"
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def test_stats_cache_reused_across_drivers(session):
+    session.plan(SIX_RELATION_SQL, driver="auto")
+    misses = session.planner.stats_cache.stats.misses
+    assert misses >= 6  # one rooting per relation
+    session.plan_cache.clear()
+    session.plan(SIX_RELATION_SQL, driver="auto")
+    # replanning the same query re-derives nothing
+    assert session.planner.stats_cache.stats.misses == misses
+    assert session.planner.stats_cache.stats.hits >= 6
+
+
+def test_execute_many_budgets_and_timing(session):
+    small = "select * from R1, R5 where R1.E = R5.E"
+    reports = session.execute_many(
+        [SIX_RELATION_SQL, small], budgets=[10, 50_000_000],
+    )
+    assert reports[0].timed_out and not reports[0].ok
+    assert reports[1].ok
+    for report in reports:
+        assert report.planning_seconds >= 0.0
+        assert report.execution_seconds >= 0.0
+        assert report.total_seconds == (
+            report.planning_seconds + report.execution_seconds
+        )
+
+
+def test_execute_many_budget_arity_checked(session):
+    with pytest.raises(ValueError, match="budgets"):
+        session.execute_many(["select * from R1, R5 where R1.E = R5.E"],
+                             budgets=[1, 2])
+
+
+def test_execute_reports_errors_instead_of_raising(session):
+    report = session.execute("select * from Nope, R1 where Nope.X = R1.B")
+    assert not report.ok
+    assert isinstance(report.error, Exception)
+
+
+def test_cache_info_exposes_both_caches(session):
+    session.plan(SIX_RELATION_SQL)
+    info = session.cache_info()
+    assert info["plan_cache"].misses == 1
+    assert info["stats_cache"].misses >= 1

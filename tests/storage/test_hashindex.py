@@ -1,7 +1,6 @@
 """Unit tests for the vectorized hash index."""
 
 import numpy as np
-import pytest
 
 from repro.storage import HashIndex, concat_ranges
 

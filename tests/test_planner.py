@@ -1,13 +1,12 @@
 """Tests for the end-to-end Planner."""
 
-import numpy as np
 import pytest
 
 from repro import ExecutionMode, Planner
 from repro.planner import push_down_selections
 from repro.core import parse_query
 
-from .conftest import brute_force_join, make_running_example_query, make_small_catalog
+from tests.helpers import brute_force_join, make_running_example_query, make_small_catalog
 
 
 @pytest.fixture(scope="module")

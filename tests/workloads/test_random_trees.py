@@ -1,6 +1,5 @@
 """Tests for the random join-tree generator (Figure 10 setup)."""
 
-import numpy as np
 
 from repro.workloads import random_join_tree, random_stats
 from repro.workloads.random_trees import MATCH_PROBABILITY_RANGES
