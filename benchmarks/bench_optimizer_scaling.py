@@ -1,0 +1,198 @@
+"""Optimizer-scaling benchmark: plan quality vs optimization time.
+
+Two sections, recorded to
+``benchmarks/results/BENCH_optimizer_scaling.json``:
+
+* **quality** (n <= 12, where the exhaustive DP is feasible): the cost
+  ratio of IDP and beam plans over the exhaustive optimum, per shape
+  (chain / star / random tree), aggregated over seeds;
+* **timing** (n up to 64): optimization wall time of IDP and beam, plus
+  the exhaustive DP where it is still tractable (chains are polynomial
+  for it; stars hit the ``O(n 2^n)`` wall in the low teens).
+
+Run ``python benchmarks/bench_optimizer_scaling.py`` (full sweep) or
+``--smoke`` for the CI gate (n=24 chain+star through IDP and beam, a
+couple of seconds end to end).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import time
+from pathlib import Path
+
+from repro.core import (
+    AUTO_EXHAUSTIVE_MAX_RELATIONS,
+    AUTO_IDP_MAX_RELATIONS,
+    beam_order,
+    exhaustive_optimal,
+    idp_order,
+)
+from repro.workloads.large_joins import (
+    chain_query,
+    large_query_stats,
+    random_tree_query,
+    star_query,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+BLOCK_SIZE = 8
+BEAM_WIDTH = 8
+
+QUALITY_SIZES = (8, 10, 12)
+TIMING_SIZES = (16, 24, 32, 48, 64)
+#: the exhaustive DP enumerates all connected prefixes — polynomial on
+#: chains, O(n 2^n) on stars/bushy trees, so cap it per shape.
+EXHAUSTIVE_TIMING_CAP = {"chain": 64, "star": 14, "random_tree": 14}
+
+SMOKE_TIMING_SIZES = (24,)
+SMOKE_SHAPES = ("chain", "star")
+
+
+def build_query(shape, n, seed):
+    if shape == "chain":
+        return chain_query(n)
+    if shape == "star":
+        return star_query(n)
+    return random_tree_query(n, seed=seed)
+
+
+def timed(fn):
+    start = time.perf_counter()
+    plan = fn()
+    return plan, (time.perf_counter() - start) * 1e3  # ms
+
+
+def quality_section(shapes, seeds):
+    rows = []
+    for shape in shapes:
+        for n in QUALITY_SIZES:
+            idp_ratios, beam_ratios, exhaustive_ms = [], [], []
+            for seed in seeds:
+                query = build_query(shape, n, seed)
+                stats = large_query_stats(query, seed=seed)
+                exact, ms = timed(lambda: exhaustive_optimal(query, stats))
+                exhaustive_ms.append(ms)
+                idp = idp_order(query, stats, block_size=BLOCK_SIZE)
+                beam = beam_order(query, stats, beam_width=BEAM_WIDTH)
+                assert query.is_valid_order(idp.order)
+                assert query.is_valid_order(beam.order)
+                for plan in (idp, beam):
+                    # Hard gate, per seed: a heuristic plan costed below
+                    # the exhaustive optimum means the costing broke.
+                    assert plan.cost >= exact.cost * (1.0 - 1e-9), (
+                        shape, n, seed, plan.cost, exact.cost
+                    )
+                idp_ratios.append(idp.cost / exact.cost)
+                beam_ratios.append(beam.cost / exact.cost)
+            rows.append({
+                "shape": shape,
+                "num_relations": n,
+                "seeds": len(list(seeds)),
+                "idp_cost_ratio_min": round(min(idp_ratios), 4),
+                "idp_cost_ratio_mean": round(statistics.mean(idp_ratios), 4),
+                "idp_cost_ratio_max": round(max(idp_ratios), 4),
+                "beam_cost_ratio_min": round(min(beam_ratios), 4),
+                "beam_cost_ratio_mean": round(statistics.mean(beam_ratios), 4),
+                "beam_cost_ratio_max": round(max(beam_ratios), 4),
+                "exhaustive_ms_median": round(
+                    statistics.median(exhaustive_ms), 3
+                ),
+            })
+    return rows
+
+
+def timing_section(shapes, sizes, seeds):
+    rows = []
+    for shape in shapes:
+        for n in sizes:
+            samples = {"idp": [], "beam": [], "exhaustive": []}
+            for seed in seeds:
+                query = build_query(shape, n, seed)
+                stats = large_query_stats(query, seed=seed)
+                idp, idp_ms = timed(
+                    lambda: idp_order(query, stats, block_size=BLOCK_SIZE)
+                )
+                beam, beam_ms = timed(
+                    lambda: beam_order(query, stats, beam_width=BEAM_WIDTH)
+                )
+                assert query.is_valid_order(idp.order)
+                assert query.is_valid_order(beam.order)
+                samples["idp"].append(idp_ms)
+                samples["beam"].append(beam_ms)
+                if n <= EXHAUSTIVE_TIMING_CAP[shape]:
+                    _, ms = timed(lambda: exhaustive_optimal(query, stats))
+                    samples["exhaustive"].append(ms)
+            row = {
+                "shape": shape,
+                "num_relations": n,
+                "idp_ms_median": round(statistics.median(samples["idp"]), 3),
+                "beam_ms_median": round(statistics.median(samples["beam"]), 3),
+                "exhaustive_ms_median": (
+                    round(statistics.median(samples["exhaustive"]), 3)
+                    if samples["exhaustive"]
+                    else None  # infeasible at this scale
+                ),
+            }
+            rows.append(row)
+    return rows
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI gate: n=24 chain+star through idp and beam only",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=None,
+        help="seeds per (shape, size) cell (default: 5; smoke: 2)",
+    )
+    args = parser.parse_args(argv)
+
+    seeds = range(args.seeds if args.seeds else (2 if args.smoke else 5))
+    start = time.perf_counter()
+    if args.smoke:
+        quality = quality_section(SMOKE_SHAPES, seeds)
+        timing = timing_section(SMOKE_SHAPES, SMOKE_TIMING_SIZES, seeds)
+    else:
+        shapes = ("chain", "star", "random_tree")
+        quality = quality_section(shapes, seeds)
+        timing = timing_section(shapes, TIMING_SIZES, seeds)
+
+    record = {
+        "benchmark": "optimizer_scaling",
+        "smoke": args.smoke,
+        "knobs": {"block_size": BLOCK_SIZE, "beam_width": BEAM_WIDTH},
+        "auto_policy": {
+            "exhaustive_max_relations": AUTO_EXHAUSTIVE_MAX_RELATIONS,
+            "idp_max_relations": AUTO_IDP_MAX_RELATIONS,
+        },
+        "quality_vs_exhaustive": quality,
+        "optimization_time": timing,
+        "total_seconds": round(time.perf_counter() - start, 2),
+    }
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_optimizer_scaling.json"
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    print(json.dumps(record, indent=2))
+    print(f"[saved to {path}]")
+
+    # Hard gates the CI smoke run relies on (the never-below-optimum
+    # check runs per seed inside quality_section): the recorded
+    # aggregates are sane and planning stays interactive at scale.
+    for row in quality:
+        assert row["idp_cost_ratio_min"] >= 1.0 - 1e-9, row
+        assert row["beam_cost_ratio_min"] >= 1.0 - 1e-9, row
+    for row in timing:
+        assert row["idp_ms_median"] < 1_000, row
+        assert row["beam_ms_median"] < 1_000, row
+    return record
+
+
+if __name__ == "__main__":
+    main()

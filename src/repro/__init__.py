@@ -17,6 +17,7 @@ Public API highlights
 """
 
 from .core import (
+    Contradiction,
     CostWeights,
     EdgeStats,
     JoinEdge,
@@ -26,11 +27,15 @@ from .core import (
     ParsedQuery,
     PlanCost,
     QueryStats,
+    beam_order,
     best_driver,
+    choose_optimizer,
     execute_cyclic,
     exhaustive_optimal,
     expected_output_size,
     greedy_order,
+    idp_order,
+    incremental_order_cost,
     optimize_sj,
     parse_query,
     plan_cost,
@@ -58,6 +63,7 @@ __version__ = "1.1.0"
 __all__ = [
     "BudgetExceededError",
     "Catalog",
+    "Contradiction",
     "CostWeights",
     "EdgeStats",
     "ExecutionMode",
@@ -76,12 +82,16 @@ __all__ = [
     "QuerySession",
     "QueryStats",
     "Table",
+    "beam_order",
     "best_driver",
+    "choose_optimizer",
     "execute",
     "execute_cyclic",
     "exhaustive_optimal",
     "expected_output_size",
     "greedy_order",
+    "idp_order",
+    "incremental_order_cost",
     "load_catalog",
     "optimize_sj",
     "parse_query",

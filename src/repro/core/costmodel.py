@@ -122,7 +122,8 @@ class CostMemo:
     it), so its keys are masked by the subtree for maximal reuse.
     """
 
-    __slots__ = ("bit", "subtree_mask", "survival", "eq1", "frontier")
+    __slots__ = ("bit", "subtree_mask", "survival", "eq1", "frontier",
+                 "parent_of", "non_root", "m_eff", "selprod")
 
     def __init__(self, query):
         self.bit = {}
@@ -139,6 +140,14 @@ class CostMemo:
         #: joined-set mask -> (pseudo, pseudo_children); used by the
         #: optimizer's BVP costing (the frontier depends only on the set)
         self.frontier = {}
+        # Static structure tables so hot per-subset loops avoid method
+        # calls (measurable on 50+-relation beam/IDP searches).
+        self.parent_of = {edge.child: edge.parent for edge in query.edges}
+        self.non_root = tuple(query.non_root_relations)
+        #: relation -> min(m + eps, 1.0); lazily filled (one eps per memo)
+        self.m_eff = {}
+        #: joined-set mask -> prod of selectivities over the set
+        self.selprod = {}
 
     def mask_of(self, names):
         """Bitmask of a collection of node names (new bits on demand)."""
@@ -284,14 +293,21 @@ def _eq1_probes(query, stats, members, parent, pseudo=None,
     return probes
 
 
-def com_probes_per_join(query, stats, order):
-    """Expected hash probes into each relation under COM, per Eq. (1)."""
+def com_probes_per_join(query, stats, order, memo=None):
+    """Expected hash probes into each relation under COM, per Eq. (1).
+
+    ``memo`` is an optional :class:`CostMemo` valid for this
+    (query, stats) pair; sharing one across repeated costings of large
+    queries (e.g. the planner evaluating several strategies) reuses the
+    survival/Eq. (1) subset tables instead of recomputing them.
+    """
     query.validate_order(order)
     joined = {query.root}
     probes = {}
     for relation in order:
         parent = query.parent(relation)
-        probes[relation] = _eq1_probes(query, stats, joined, parent)
+        probes[relation] = _eq1_probes(query, stats, joined, parent,
+                                       memo=memo)
         joined.add(relation)
     return probes
 
@@ -324,7 +340,7 @@ def expected_output_size(query, stats):
 # ----------------------------------------------------------------------
 
 
-def com_plan_cost(query, stats, order, flat_output=True):
+def com_plan_cost(query, stats, order, flat_output=True, memo=None):
     """PlanCost for the factorized (COM) execution of ``order``.
 
     Probes follow Eq. (1).  Tuple generation counts the factorized
@@ -332,7 +348,7 @@ def com_plan_cost(query, stats, order, flat_output=True):
     ``flat_output`` is requested, the final expansion of the full
     result (Section 3.6 "expansion step").
     """
-    per_join = com_probes_per_join(query, stats, order)
+    per_join = com_probes_per_join(query, stats, order, memo=memo)
     cost = PlanCost(hash_probes_by_relation=dict(per_join))
     for relation, probes in per_join.items():
         cost.hash_probes += probes
@@ -385,7 +401,8 @@ def _bvp_check_schedule(query, order):
     return checks_after
 
 
-def bvp_plan_cost(query, stats, order, eps, factorized, flat_output=True):
+def bvp_plan_cost(query, stats, order, eps, factorized, flat_output=True,
+                  memo=None):
     """PlanCost under bitvector early pruning (BVP+STD or BVP+COM).
 
     ``eps`` is the bitvector false-positive probability.  Bitvector and
@@ -393,6 +410,7 @@ def bvp_plan_cost(query, stats, order, eps, factorized, flat_output=True):
     Section 3.5).  For the factorized variant, checked-but-not-joined
     relations enter Eq. (1) as pseudo-children with match probability
     ``m + eps`` and fanout 1, exactly as derived in Section 3.5.
+    ``memo`` optionally shares a :class:`CostMemo` across costings.
     """
     query.validate_order(order)
     checks_after = _bvp_check_schedule(query, order)
@@ -426,7 +444,8 @@ def bvp_plan_cost(query, stats, order, eps, factorized, flat_output=True):
         """Bitvector checks fire once per alive entry of the parent node."""
         for relation in relations:
             alive = _eq1_probes(
-                query, stats, joined, event_parent, pseudo, pseudo_children
+                query, stats, joined, event_parent, pseudo, pseudo_children,
+                memo
             )
             cost.bitvector_probes += alive
             name = f"~bv:{relation}"
@@ -439,7 +458,8 @@ def bvp_plan_cost(query, stats, order, eps, factorized, flat_output=True):
         # The relation's own bitvector pseudo-node stays in place for
         # this computation: its (m + eps) factor applies to the hash
         # probe count (tuples that failed the check were never probed).
-        probes = _eq1_probes(query, stats, joined, parent, pseudo, pseudo_children)
+        probes = _eq1_probes(query, stats, joined, parent, pseudo,
+                             pseudo_children, memo)
         cost.hash_probes += probes
         cost.hash_probes_by_relation[relation] = probes
         cost.tuples_generated += probes * stats.selectivity(relation)
@@ -460,17 +480,22 @@ def bvp_plan_cost(query, stats, order, eps, factorized, flat_output=True):
 # ----------------------------------------------------------------------
 
 
-def plan_cost(query, stats, order, mode, eps=0.01, flat_output=True):
+def plan_cost(query, stats, order, mode, eps=0.01, flat_output=True,
+              memo=None):
     """Expected :class:`PlanCost` of executing ``order`` under ``mode``.
 
     Semi-join modes are computed by
-    :func:`repro.core.costmodel_sj.sj_plan_cost`.
+    :func:`repro.core.costmodel_sj.sj_plan_cost`.  ``memo`` optionally
+    shares one :class:`CostMemo` (valid for this query/stats/eps) across
+    repeated costings — the planner uses this to price every strategy of
+    a large query against shared subset tables.
     """
     mode = ExecutionMode(mode)
     if mode is ExecutionMode.STD:
         return std_plan_cost(query, stats, order)
     if mode is ExecutionMode.COM:
-        return com_plan_cost(query, stats, order, flat_output=flat_output)
+        return com_plan_cost(query, stats, order, flat_output=flat_output,
+                             memo=memo)
     if mode in (ExecutionMode.BVP_STD, ExecutionMode.BVP_COM):
         return bvp_plan_cost(
             query,
@@ -479,6 +504,7 @@ def plan_cost(query, stats, order, mode, eps=0.01, flat_output=True):
             eps=eps,
             factorized=mode.factorized,
             flat_output=flat_output,
+            memo=memo,
         )
     from .costmodel_sj import sj_plan_cost
 

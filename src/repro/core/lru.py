@@ -1,12 +1,18 @@
-"""A small LRU cache with hit/miss accounting.
+"""A small thread-safe LRU cache with hit/miss accounting.
 
 Shared by the statistics cache (:class:`repro.core.stats.StatsCache`)
 and the plan cache (:class:`repro.service.PlanCache`).  Keys must be
 hashable; capacity ``None`` means unbounded.
+
+Every operation (including the stats counters) runs under an internal
+re-entrant lock, so one cache instance can back several concurrently
+planning :class:`~repro.service.QuerySession` threads without corrupting
+the underlying ``OrderedDict`` or dropping counter increments.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -56,47 +62,92 @@ class LRUCache:
         self.capacity = capacity
         self._entries = OrderedDict()
         self.stats = CacheStats()
+        # Re-entrant so get_or_compute's compute() may itself use the
+        # cache (e.g. nested stats derivations) without deadlocking.
+        self._lock = threading.RLock()
+        #: key -> Event for in-flight get_or_compute computations
+        self._inflight = {}
 
     def __len__(self):
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key):
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key, default=None):
         """Look up ``key``, refreshing its recency; counts hit/miss."""
-        value = self._entries.get(key, _MISSING)
-        if value is _MISSING:
-            self.stats.misses += 1
-            return default
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return value
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                self.stats.misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return value
 
     def put(self, key, value):
         """Insert/overwrite ``key``, evicting the LRU entry if full."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = value
-        if self.capacity is not None and len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
-        return value
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            if self.capacity is not None and len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+            return value
 
     def get_or_compute(self, key, compute):
-        """Return the cached value, computing and inserting on a miss."""
-        value = self.get(key, _MISSING)
-        if value is _MISSING:
-            value = self.put(key, compute())
+        """Return the cached value, computing and inserting on a miss.
+
+        Concurrent misses of one key are **single-flight**: the first
+        caller computes, the rest wait for its result.  The compute runs
+        *outside* the cache lock, so a slow derivation (e.g. a
+        data-scanning stats derivation) never blocks lookups of other
+        keys.  If the owning compute raises, the exception propagates
+        to that caller and one of the waiters takes over the
+        computation.  ``compute`` must not re-enter the cache for the
+        *same* key (other keys are fine).
+        """
+        while True:
+            with self._lock:
+                value = self._entries.get(key, _MISSING)
+                if value is not _MISSING:
+                    self._entries.move_to_end(key)
+                    self.stats.hits += 1
+                    return value
+                event = self._inflight.get(key)
+                if event is None:
+                    self.stats.misses += 1
+                    event = self._inflight[key] = threading.Event()
+                    break  # this caller owns the computation
+            # Someone else is computing this key: wait, then re-check
+            # (a hit normally; a re-miss if the owner failed or the
+            # entry was already evicted, in which case one waiter
+            # becomes the new owner).
+            event.wait()
+        try:
+            value = compute()
+            self.put(key, value)
+        finally:
+            # Always release the in-flight marker — even when compute()
+            # or the insert raises — so waiters re-check instead of
+            # blocking forever on a stranded event.
+            with self._lock:
+                del self._inflight[key]
+            event.set()
         return value
 
     def clear(self):
         """Drop every entry (counted as invalidations)."""
-        self.stats.invalidations += len(self._entries)
-        self._entries.clear()
+        with self._lock:
+            self.stats.invalidations += len(self._entries)
+            self._entries.clear()
 
     def keys(self):
-        return list(self._entries)
+        with self._lock:
+            return list(self._entries)
 
     def __repr__(self):
         return (

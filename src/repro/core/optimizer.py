@@ -15,6 +15,25 @@ implements:
   semi-join full-reduction variants (Section 3.6);
 * :func:`best_driver` — re-run any optimizer for every choice of the
   driver relation and keep the cheapest (Sections 2.1 and 3.5).
+
+Beyond the paper, the **optimizer-scaling subsystem** extends Algorithm
+1's reach past its ``O(n 2^n)`` wall (~15 relations on star-shaped
+queries):
+
+* :func:`idp_order` — an IDP-style blockwise dynamic program: pick a
+  block of ``block_size`` frontier relations greedily, solve the block
+  *exactly* with the Algorithm 1 recurrence, commit its order, repeat.
+  With ``block_size >= n`` it degenerates to the exhaustive DP and is
+  bit-identical to it;
+* :func:`beam_order` — beam search over connected prefixes for very
+  large queries (linear in the number of relations for fixed width);
+* :func:`choose_optimizer` — the ``"auto"`` policy mapping a relation
+  count to ``exhaustive`` / ``idp`` / ``beam``.
+
+All three accumulate the same set-determined delta costs (and share one
+:class:`~repro.core.costmodel.CostMemo`), so their ``cost`` fields are
+directly comparable — :func:`incremental_order_cost` exposes that
+costing for arbitrary orders.
 """
 
 from __future__ import annotations
@@ -34,10 +53,16 @@ from .costmodel_sj import reduction_ratios, sj_phase2_fanouts
 __all__ = [
     "OptimizedPlan",
     "exhaustive_optimal",
+    "idp_order",
+    "beam_order",
+    "choose_optimizer",
+    "incremental_order_cost",
     "greedy_order",
     "GREEDY_HEURISTICS",
     "optimize_sj",
     "best_driver",
+    "AUTO_EXHAUSTIVE_MAX_RELATIONS",
+    "AUTO_IDP_MAX_RELATIONS",
 ]
 
 
@@ -64,24 +89,38 @@ class OptimizedPlan:
 # ----------------------------------------------------------------------
 
 
-def _frontier_pseudo(query, stats, joined, eps):
+def _frontier_pseudo(query, stats, joined, eps, memo=None):
     """Pseudo bitvector nodes for every checked-but-unjoined relation.
 
     Under full bitvector push-down a relation's bitvector has been
     applied as soon as its parent is joined; with the driver fixed the
     set of applied bitvectors depends only on the *set* of joined
     relations, which is why the principle of optimality holds
-    (Theorem 3.3).
+    (Theorem 3.3).  With ``memo``, the static structure tables and the
+    per-relation ``min(m + eps, 1)`` values are read from it instead of
+    being re-derived per call (a hot path for beam/IDP on large
+    queries).
     """
+    if memo is not None:
+        non_root, parent_of, m_eff = memo.non_root, memo.parent_of, memo.m_eff
+    else:
+        non_root, parent_of, m_eff = query.non_root_relations, None, {}
+    root = query.root
     pseudo = {}
     pseudo_children = {}
-    for relation in query.non_root_relations:
+    for relation in non_root:
         if relation in joined:
             continue
-        parent = query.parent(relation)
-        if parent == query.root or parent in joined:
+        parent = (
+            parent_of[relation] if parent_of is not None
+            else query.parent(relation)
+        )
+        if parent == root or parent in joined:
+            value = m_eff.get(relation)
+            if value is None:
+                value = m_eff[relation] = min(stats.m(relation) + eps, 1.0)
             name = f"~bv:{relation}"
-            pseudo[name] = (parent, min(stats.m(relation) + eps, 1.0))
+            pseudo[name] = (parent, value)
             pseudo_children.setdefault(parent, []).append(name)
     return pseudo, pseudo_children
 
@@ -93,8 +132,36 @@ def _frontier_pseudo_memo(query, stats, joined, eps, memo):
     key = memo.mask_of(joined)
     hit = memo.frontier.get(key)
     if hit is None:
-        hit = memo.frontier[key] = _frontier_pseudo(query, stats, joined, eps)
+        hit = memo.frontier[key] = _frontier_pseudo(query, stats, joined,
+                                                    eps, memo)
     return hit
+
+
+def _prefix_selectivity(query, stats, joined, memo=None):
+    """``prod_{rel in joined, rel != root} s(rel)`` — set-determined.
+
+    Memoized by subset mask when a :class:`CostMemo` is supplied (the
+    STD / BVP+STD delta costs evaluate it for every candidate of every
+    prefix the search touches).  The product is accumulated in the
+    query's canonical relation order — never the set's iteration order,
+    which can vary between equal-content sets and would make memoized
+    and unmemoized costs differ in the last float ulp.
+    """
+    if memo is not None:
+        key = memo.mask_of(joined)
+        hit = memo.selprod.get(key)
+        if hit is not None:
+            return hit
+        non_root = memo.non_root
+    else:
+        non_root = query.non_root_relations
+    product = 1.0
+    for rel in non_root:
+        if rel in joined:
+            product *= stats.selectivity(rel)
+    if memo is not None:
+        memo.selprod[key] = product
+    return product
 
 
 def _delta_cost(query, stats, joined, relation, mode, eps, weights,
@@ -110,10 +177,9 @@ def _delta_cost(query, stats, joined, relation, mode, eps, weights,
     parent = query.parent(relation)
     c = stats.probe_cost(relation)
     if mode is ExecutionMode.STD:
-        tuples = stats.driver_size
-        for rel in joined:
-            if rel != query.root:
-                tuples *= stats.selectivity(rel)
+        tuples = stats.driver_size * _prefix_selectivity(
+            query, stats, joined, memo
+        )
         return tuples * c * weights.hash_probe
     if mode is ExecutionMode.COM:
         probes = _eq1_probes(query, stats, joined, parent, memo=memo)
@@ -122,53 +188,54 @@ def _delta_cost(query, stats, joined, relation, mode, eps, weights,
         pseudo, pseudo_children = _frontier_pseudo_memo(
             query, stats, joined, eps, memo
         )
+        own = f"~bv:{relation}"
         if mode is ExecutionMode.BVP_COM:
             hash_probes = _eq1_probes(
                 query, stats, joined, parent, pseudo, pseudo_children, memo
             )
         else:
-            hash_probes = stats.driver_size
-            for rel in joined:
-                if rel != query.root:
-                    hash_probes *= stats.selectivity(rel)
+            hash_probes = stats.driver_size * _prefix_selectivity(
+                query, stats, joined, memo
+            )
             for name, (_, m_eff) in pseudo.items():
                 hash_probes *= m_eff
         # Bitvector checks triggered by this join: the children of
         # ``relation`` become checkable.  Each check touches the alive
         # entries of ``relation`` (COM) or the expanded stream (STD).
-        joined_after = joined | {relation}
-        pseudo_after, pseudo_children_after = _frontier_pseudo_memo(
-            query, stats, joined_after, eps, memo
-        )
+        # The pseudo frontier *after* the join — minus the new checks
+        # themselves, which hang off ``relation`` — is exactly the
+        # current frontier without ``relation``'s own pseudo node, so it
+        # is derived in place instead of recomputed from scratch (the
+        # dominant cost of large-query beam/IDP searches before).
         bv_probes = 0.0
         new_checks = sorted(
             (child for child in query.children(relation)),
             key=lambda child: stats.m(child),
         )
         if new_checks:
+            joined_after = joined | {relation}
             if mode is ExecutionMode.BVP_COM:
                 # Alive entries of ``relation`` just after its join,
                 # before its children's bitvectors are applied.
                 base_pseudo = {
                     name: val
-                    for name, val in pseudo_after.items()
-                    if val[0] != relation
+                    for name, val in pseudo.items()
+                    if name != own
                 }
                 base_children = {
-                    node: [n for n in names if n in base_pseudo]
-                    for node, names in pseudo_children_after.items()
+                    node: [n for n in names if n != own]
+                    for node, names in pseudo_children.items()
                 }
                 alive = _eq1_probes(
                     query, stats, joined_after, relation, base_pseudo,
                     base_children, memo
                 )
             else:
-                alive = stats.driver_size
-                for rel in joined_after:
-                    if rel != query.root:
-                        alive *= stats.selectivity(rel)
-                for name, (p, m_eff) in pseudo_after.items():
-                    if p != relation:
+                alive = stats.driver_size * _prefix_selectivity(
+                    query, stats, joined_after, memo
+                )
+                for name, (_, m_eff) in pseudo.items():
+                    if name != own:
                         alive *= m_eff
             for child in new_checks:
                 bv_probes += alive
@@ -178,6 +245,13 @@ def _delta_cost(query, stats, joined, relation, mode, eps, weights,
             + bv_probes * weights.bitvector_probe
         )
     raise ValueError(f"unsupported mode for incremental costing: {mode}")
+
+
+def _memo_from(memoize, query):
+    """Resolve a ``memoize`` argument (bool or CostMemo) to a memo."""
+    if isinstance(memoize, CostMemo):
+        return memoize
+    return CostMemo(query) if memoize else None
 
 
 # ----------------------------------------------------------------------
@@ -200,23 +274,128 @@ def exhaustive_optimal(query, stats, mode=ExecutionMode.COM, eps=0.01,
     relation subsets in a :class:`~repro.core.costmodel.CostMemo`, so
     overlapping prefixes share work instead of re-costing from scratch;
     ``memoize=False`` recomputes everything (the original behaviour)
-    and returns bit-identical orders and costs.
+    and returns bit-identical orders and costs.  Passing an existing
+    :class:`CostMemo` (valid for this (query, stats, eps)) reuses its
+    tables across optimizer invocations.
     """
     mode = ExecutionMode(mode)
     if mode.uses_semijoin:
         return optimize_sj(query, stats, factorized=mode.factorized,
                            weights=weights)
-    memo = CostMemo(query) if memoize else None
-    root_set = frozenset([query.root])
-    best = {root_set: (0.0, [])}
-    frontier_sets = [root_set]
-    all_relations = frozenset(query.relations)
+    memo = _memo_from(memoize, query)
+    # One shared implementation of the Algorithm 1 recurrence: the
+    # exhaustive DP is the block DP with everything in a single block.
+    total_cost, order = _exact_block_order(
+        query, stats, [], query.non_root_relations, mode, eps, weights, memo
+    )
+    return OptimizedPlan(query=query, order=order, cost=total_cost, mode=mode)
+
+
+# ----------------------------------------------------------------------
+# Optimizer-scaling subsystem: IDP blocks, beam search, auto policy
+# ----------------------------------------------------------------------
+
+#: relation-count crossovers for :func:`choose_optimizer` ("auto").
+#: Exhaustive DP is ``O(n 2^n)`` on stars, so it stops being interactive
+#: in the low teens; IDP stays exact-within-blocks up to mid-size
+#: graphs; beam search covers everything beyond (linear per width).
+AUTO_EXHAUSTIVE_MAX_RELATIONS = 12
+AUTO_IDP_MAX_RELATIONS = 40
+
+
+def choose_optimizer(num_relations,
+                     exhaustive_max=AUTO_EXHAUSTIVE_MAX_RELATIONS,
+                     idp_max=AUTO_IDP_MAX_RELATIONS):
+    """The ``"auto"`` policy: pick an algorithm by relation count.
+
+    Returns ``"exhaustive"``, ``"idp"`` or ``"beam"``.  The default
+    crossovers are conservative worst-case (star query) bounds measured
+    by ``benchmarks/bench_optimizer_scaling.py``.
+    """
+    if num_relations <= exhaustive_max:
+        return "exhaustive"
+    if num_relations <= idp_max:
+        return "idp"
+    return "beam"
+
+
+def incremental_order_cost(query, stats, order, mode=ExecutionMode.COM,
+                           eps=0.01, weights=CostWeights(), memo=None):
+    """The optimizer's objective evaluated on an arbitrary valid order.
+
+    Accumulates the same set-determined delta costs that
+    :func:`exhaustive_optimal`, :func:`idp_order` and :func:`beam_order`
+    minimize, so plans from different algorithms are comparable on a
+    single scale (e.g. the plan-quality ratios recorded by
+    ``bench_optimizer_scaling``).  Semi-join modes are not incrementally
+    costable (use :func:`~repro.core.costmodel.plan_cost`).
+    """
+    mode = ExecutionMode(mode)
+    query.validate_order(order)
+    joined = {query.root}
+    total = 0.0
+    for relation in order:
+        total += _delta_cost(query, stats, joined, relation, mode, eps,
+                             weights, memo)
+        joined.add(relation)
+    return total
+
+
+def _greedy_block(query, stats, order, block_size, mode, eps, weights, memo):
+    """Select the next IDP block: up to ``block_size`` frontier
+    relations, chosen one at a time by cheapest immediate delta cost.
+
+    Only the *membership* of the block matters — the exact DP re-derives
+    the optimal order within it — so a cheap greedy pick suffices, and
+    every delta evaluated here lands in the shared memo for the DP to
+    reuse.
+    """
+    block = []
+    joined = {query.root, *order}
+    extended = list(order)
+    while len(block) < block_size:
+        candidates = query.eligible_next(extended)
+        if not candidates:
+            break
+        best_key = best_rel = None
+        for relation in candidates:
+            key = (
+                _delta_cost(query, stats, joined, relation, mode, eps,
+                            weights, memo),
+                relation,
+            )
+            if best_key is None or key < best_key:
+                best_key, best_rel = key, relation
+        block.append(best_rel)
+        joined.add(best_rel)
+        extended.append(best_rel)
+    return block
+
+
+def _exact_block_order(query, stats, committed_order, block, mode, eps,
+                       weights, memo):
+    """Optimal order of ``block`` appended after ``committed_order``.
+
+    The one implementation of the Algorithm 1 connected-prefix DP,
+    restricted to block members: :func:`exhaustive_optimal` calls it
+    with everything in a single block, :func:`idp_order` with bounded
+    blocks — which is why ``idp_order(block_size >= n)`` is
+    bit-identical to the exhaustive DP by construction.  Returns
+    ``(cost_delta, block_order)`` relative to the committed prefix.
+    """
+    block_set = frozenset(block)
+    base = frozenset([query.root]) | frozenset(committed_order)
+    best = {base: (0.0, list(committed_order))}
+    frontier_sets = [base]
+    target = base | block_set
     while frontier_sets:
         next_level = {}
         for prefix_set in frontier_sets:
             prefix_cost, prefix_order = best[prefix_set]
             joined = set(prefix_set)
             for relation in query.eligible_next(prefix_order):
+                if relation not in block_set:
+                    continue
                 delta = _delta_cost(
                     query, stats, joined, relation, mode, eps, weights, memo
                 )
@@ -227,8 +406,85 @@ def exhaustive_optimal(query, stats, mode=ExecutionMode.COM, eps=0.01,
                     next_level[new_set] = (new_cost, prefix_order + [relation])
         best.update(next_level)
         frontier_sets = list(next_level)
-    total_cost, order = best[all_relations]
-    return OptimizedPlan(query=query, order=order, cost=total_cost, mode=mode)
+    cost, order = best[target]
+    return cost, order[len(committed_order):]
+
+
+def idp_order(query, stats, mode=ExecutionMode.COM, eps=0.01,
+              weights=CostWeights(), block_size=8, memoize=True):
+    """IDP-style blockwise dynamic program (exhaustive-DP fallback).
+
+    Repeatedly (1) grows a block of up to ``block_size`` frontier
+    relations greedily, (2) orders the block *optimally* with the
+    Algorithm 1 recurrence (``O(2^block_size)`` states), and (3) commits
+    the block, until every relation is joined.  Cost per block is
+    bounded, so the whole run is ``O(n/k * 2^k)`` DP states instead of
+    ``O(2^n)`` — this is the classical IDP(k) idea adapted to the
+    paper's connected-prefix DP.
+
+    With ``block_size >= len(query.non_root_relations)`` a single block
+    covers the whole query and the result is bit-identical to
+    :func:`exhaustive_optimal` (same order, same cost float).
+    """
+    mode = ExecutionMode(mode)
+    if mode.uses_semijoin:
+        return optimize_sj(query, stats, factorized=mode.factorized,
+                           weights=weights)
+    if block_size < 1:
+        raise ValueError(f"block_size must be >= 1, got {block_size}")
+    memo = _memo_from(memoize, query)
+    total = len(query.non_root_relations)
+    order = []
+    cost = 0.0
+    while len(order) < total:
+        block = _greedy_block(query, stats, order, block_size, mode, eps,
+                              weights, memo)
+        block_cost, block_order = _exact_block_order(
+            query, stats, order, block, mode, eps, weights, memo
+        )
+        cost += block_cost
+        order.extend(block_order)
+    return OptimizedPlan(query=query, order=order, cost=cost, mode=mode)
+
+
+def beam_order(query, stats, mode=ExecutionMode.COM, eps=0.01,
+               weights=CostWeights(), beam_width=8, memoize=True):
+    """Beam search over connected prefixes, for very large queries.
+
+    Keeps the ``beam_width`` cheapest prefixes per length (deduplicated
+    by joined *set*, exactly like the DP's state space, so the beam
+    never wastes slots on permutations of one set).  Runtime is
+    ``O(n * beam_width * frontier)`` delta evaluations — linear in the
+    relation count for fixed width.  ``beam_width=1`` degenerates to a
+    greedy minimum-delta-cost order; wider beams trade time for
+    quality.  Deterministic: ties break on (cost, order).
+    """
+    mode = ExecutionMode(mode)
+    if mode.uses_semijoin:
+        return optimize_sj(query, stats, factorized=mode.factorized,
+                           weights=weights)
+    if beam_width < 1:
+        raise ValueError(f"beam_width must be >= 1, got {beam_width}")
+    memo = _memo_from(memoize, query)
+    total = len(query.non_root_relations)
+    beam = [(0.0, [])]
+    for _ in range(total):
+        expansions = {}
+        for prefix_cost, prefix_order in beam:
+            joined = {query.root, *prefix_order}
+            for relation in query.eligible_next(prefix_order):
+                delta = _delta_cost(
+                    query, stats, joined, relation, mode, eps, weights, memo
+                )
+                new_set = frozenset(joined) | {relation}
+                new_cost = prefix_cost + delta
+                incumbent = expansions.get(new_set)
+                if incumbent is None or new_cost < incumbent[0]:
+                    expansions[new_set] = (new_cost, prefix_order + [relation])
+        beam = sorted(expansions.values(),
+                      key=lambda state: (state[0], state[1]))[:beam_width]
+    cost, order = beam[0]
+    return OptimizedPlan(query=query, order=order, cost=cost, mode=mode)
 
 
 # ----------------------------------------------------------------------

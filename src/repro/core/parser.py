@@ -36,7 +36,13 @@ from dataclasses import dataclass, field
 
 from .query import JoinEdge, JoinQuery
 
-__all__ = ["ParseError", "ParsedQuery", "Placeholder", "parse_query"]
+__all__ = [
+    "Contradiction",
+    "ParseError",
+    "ParsedQuery",
+    "Placeholder",
+    "parse_query",
+]
 
 
 class ParseError(ValueError):
@@ -98,6 +104,45 @@ class Placeholder:
         return f"?{self.index}"
 
 
+@dataclass(frozen=True)
+class Contradiction:
+    """A provably-empty selection: one column equal to several distinct
+    constants at once (``a.x = 1 AND a.x = 2``).
+
+    Conjunctive selections on the same column dedupe when the literals
+    are equal; distinct literals cannot both hold, so the predicate as a
+    whole is unsatisfiable and the planner pushes down an empty relation
+    (the executor then short-circuits to an empty result).  ``literals``
+    keeps the distinct constants for error messages and cache keys.
+    """
+
+    literals: tuple
+
+    def __repr__(self):
+        rendered = " != ".join(repr(lit) for lit in self.literals)
+        return f"Contradiction({rendered})"
+
+
+def _same_literal(a, b):
+    """Equality that never conflates types (``1`` vs ``'1'`` differ)."""
+    return type(a) is type(b) and a == b
+
+
+def _merge_selection_literal(existing, new):
+    """Combine two constants asserted for the same column.
+
+    Equal literals dedupe to one; distinct literals fold into a
+    :class:`Contradiction` (which absorbs further duplicates likewise).
+    """
+    if isinstance(existing, Contradiction):
+        if any(_same_literal(lit, new) for lit in existing.literals):
+            return existing
+        return Contradiction(existing.literals + (new,))
+    if _same_literal(existing, new):
+        return existing
+    return Contradiction((existing, new))
+
+
 @dataclass
 class ParsedQuery:
     """The parsed form: relations, join predicates, selections."""
@@ -117,6 +162,15 @@ class ParsedQuery:
                 f"unknown relation alias {alias!r}; "
                 f"known: {sorted(self.relations)}"
             ) from None
+
+    @property
+    def is_contradictory(self):
+        """True when some selection is unsatisfiable (empty result)."""
+        return any(
+            isinstance(literal, Contradiction)
+            for predicate in self.selections.values()
+            for literal in predicate.values()
+        )
 
     @property
     def placeholders(self):
@@ -317,18 +371,26 @@ class _Parser:
                 else:
                     literal = self.next()[1]
                 predicate = selections.setdefault(alias_a, {})
-                # A repeated selection on the same column would silently
-                # drop a placeholder (leaving a bind() index gap), so
-                # reject the duplicate outright when one is involved.
-                if attr_a in predicate and (
-                    isinstance(literal, Placeholder)
-                    or isinstance(predicate[attr_a], Placeholder)
-                ):
-                    raise ParseError(
-                        f"duplicate selection on {alias_a}.{attr_a} with a "
-                        f"'?' placeholder"
+                if attr_a in predicate:
+                    # A repeated selection on the same column would
+                    # silently drop a placeholder (leaving a bind()
+                    # index gap), so reject the duplicate outright when
+                    # one is involved.
+                    if isinstance(literal, Placeholder) or isinstance(
+                        predicate[attr_a], Placeholder
+                    ):
+                        raise ParseError(
+                            f"duplicate selection on {alias_a}.{attr_a} "
+                            f"with a '?' placeholder"
+                        )
+                    # Conjunctive constants: equal literals dedupe,
+                    # distinct ones make the predicate provably empty
+                    # (never last-literal-wins).
+                    predicate[attr_a] = _merge_selection_literal(
+                        predicate[attr_a], literal
                     )
-                predicate[attr_a] = literal
+                else:
+                    predicate[attr_a] = literal
             else:
                 alias_b, attr_b = self._parse_colref(relations)
                 if alias_a == alias_b:

@@ -21,9 +21,16 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .core.costmodel import CostWeights, plan_cost
-from .core.optimizer import exhaustive_optimal, greedy_order, optimize_sj
-from .core.parser import ParsedQuery, parse_query
+from .core.costmodel import CostMemo, CostWeights, plan_cost
+from .core.optimizer import (
+    beam_order,
+    choose_optimizer,
+    exhaustive_optimal,
+    greedy_order,
+    idp_order,
+    optimize_sj,
+)
+from .core.parser import Contradiction, ParsedQuery, parse_query
 from .core.query import JoinQuery
 from .core.stats import EdgeStats, QueryStats, StatsCache, stats_from_data
 from .engine.executor import execute
@@ -36,10 +43,19 @@ __all__ = ["PhysicalPlan", "Planner", "filtered_table",
 
 def filtered_table(table, alias, predicate):
     """A :class:`Table` named ``alias`` holding the rows matching
-    ``predicate`` ({column: literal} constant selections)."""
+    ``predicate`` ({column: literal} constant selections).
+
+    A :class:`~repro.core.parser.Contradiction` literal (conjunctive
+    selections requiring distinct constants on one column) matches no
+    row, so the derived relation is empty and the executor
+    short-circuits to an empty join result.
+    """
     if predicate:
         mask = np.ones(len(table), dtype=bool)
         for column, literal in predicate.items():
+            if isinstance(literal, Contradiction):
+                mask[:] = False
+                break
             mask &= table.column(column) == literal
         columns = {
             name: values[mask] for name, values in table.columns.items()
@@ -144,18 +160,40 @@ class Planner:
         reused across ``plan()`` calls instead of being recomputed from
         data; the catalog fingerprint in the key invalidates entries
         automatically when the data changes.
+    idp_block_size, beam_width:
+        Tuning knobs for the scaling optimizers (``optimizer="idp"`` /
+        ``"beam"`` / ``"auto"``); see :func:`repro.core.idp_order` and
+        :func:`repro.core.beam_order`.
     """
 
-    #: optimizer choices exposed to ``plan()``
-    OPTIMIZERS = ("exhaustive", "survival", "rank", "result_size")
+    #: optimizer choices exposed to ``plan()`` — ``"auto"`` resolves by
+    #: relation count via :func:`repro.core.choose_optimizer`
+    OPTIMIZERS = ("exhaustive", "idp", "beam", "auto",
+                  "survival", "rank", "result_size")
 
-    def __init__(self, catalog, weights=None, eps=0.01, stats_cache=None):
+    def __init__(self, catalog, weights=None, eps=0.01, stats_cache=None,
+                 idp_block_size=8, beam_width=8):
         self.catalog = catalog
         self.weights = weights or CostWeights()
         self.eps = eps
         if stats_cache is True:
             stats_cache = StatsCache()
         self.stats_cache = stats_cache
+        self.idp_block_size = idp_block_size
+        self.beam_width = beam_width
+
+    @staticmethod
+    def resolve_optimizer(optimizer, num_relations):
+        """The concrete algorithm ``plan()`` will run for a query size.
+
+        ``"auto"`` maps to ``"exhaustive"`` / ``"idp"`` / ``"beam"`` by
+        relation count; anything else resolves to itself.  The resolved
+        name is part of the service layer's plan-cache key, so cached
+        plans are keyed by the algorithm that actually produced them.
+        """
+        if optimizer == "auto":
+            return choose_optimizer(num_relations)
+        return optimizer
 
     # ------------------------------------------------------------------
     # Statistics
@@ -215,23 +253,41 @@ class Planner:
     # Planning
     # ------------------------------------------------------------------
 
-    def _order_for_mode(self, query, stats, mode, optimizer):
-        """Best order (and SJ child orders) for one strategy."""
+    def _order_for_mode(self, query, stats, mode, optimizer, memo=None):
+        """Best order (and SJ child orders) for one strategy.
+
+        ``memo`` is an optional shared
+        :class:`~repro.core.costmodel.CostMemo` for this (query, stats,
+        eps) so every strategy's optimization and costing reuse one set
+        of subset tables.
+        """
         if mode.uses_semijoin:
             plan = optimize_sj(query, stats, factorized=mode.factorized,
                                weights=self.weights)
             return plan.order, plan.child_orders
+        memoize = memo if memo is not None else True
         if optimizer == "exhaustive":
             plan = exhaustive_optimal(query, stats, mode=mode, eps=self.eps,
-                                      weights=self.weights)
+                                      weights=self.weights, memoize=memoize)
+            return plan.order, {}
+        if optimizer == "idp":
+            plan = idp_order(query, stats, mode=mode, eps=self.eps,
+                             weights=self.weights,
+                             block_size=self.idp_block_size, memoize=memoize)
+            return plan.order, {}
+        if optimizer == "beam":
+            plan = beam_order(query, stats, mode=mode, eps=self.eps,
+                              weights=self.weights,
+                              beam_width=self.beam_width, memoize=memoize)
             return plan.order, {}
         plan = greedy_order(query, stats, optimizer, mode=mode, eps=self.eps,
                             weights=self.weights)
         return plan.order, {}
 
-    def _cost(self, query, stats, order, mode, flat_output):
+    def _cost(self, query, stats, order, mode, flat_output, memo=None):
         return plan_cost(query, stats, order, mode, eps=self.eps,
-                         flat_output=flat_output).total(self.weights)
+                         flat_output=flat_output,
+                         memo=memo).total(self.weights)
 
     def plan(
         self,
@@ -253,7 +309,9 @@ class Planner:
             One of the six :class:`ExecutionMode` values, or ``"auto"``
             to let the cost model choose the cheapest strategy.
         optimizer:
-            ``"exhaustive"`` (Algorithm 1) or a greedy heuristic name.
+            ``"exhaustive"`` (Algorithm 1), ``"idp"`` (blockwise DP),
+            ``"beam"`` (beam search), ``"auto"`` (pick one of those
+            three by relation count), or a greedy heuristic name.
         driver:
             ``"fixed"`` keeps the given rooting; ``"auto"`` tries every
             relation as the driver and keeps the cheapest plan.
@@ -298,6 +356,8 @@ class Planner:
                 f"got {type(query).__name__}"
             )
 
+        optimizer = self.resolve_optimizer(optimizer,
+                                           join_query.num_relations)
         drivers = (
             join_query.relations if driver == "auto" else [join_query.root]
         )
@@ -311,12 +371,15 @@ class Planner:
             rooted = join_query.rerooted(root)
             rooted_stats = self.derive_stats(catalog, rooted, stats,
                                              data_token=data_token)
+            # One memo per rooting: every strategy's order search and
+            # costing share the same survival/Eq. (1) subset tables.
+            memo = CostMemo(rooted)
             for candidate_mode in modes:
                 order, child_orders = self._order_for_mode(
-                    rooted, rooted_stats, candidate_mode, optimizer
+                    rooted, rooted_stats, candidate_mode, optimizer, memo
                 )
                 cost = self._cost(rooted, rooted_stats, order,
-                                  candidate_mode, flat_output)
+                                  candidate_mode, flat_output, memo)
                 if best is None or cost < best.predicted_cost:
                     best = PhysicalPlan(
                         catalog=catalog,

@@ -10,9 +10,13 @@ The cache key has three parts:
 * the **catalog fingerprint** (:meth:`repro.storage.Catalog.fingerprint`)
   of the data the plan was built against, so any data change misses —
   i.e. cache invalidation is automatic and content-based;
-* the **planning options** (mode / optimizer / driver / stats method
-  and the planner's weights and eps), since they change the chosen
-  plan.
+* the **planning options** (mode / *resolved* optimizer algorithm /
+  driver / stats method and the planner's weights and eps), since they
+  change the chosen plan.  The optimizer component is the algorithm
+  that actually runs — ``"auto"`` is resolved by relation count before
+  keying (:meth:`repro.planner.Planner.resolve_optimizer`), so an
+  auto-planned query shares its entry with an explicit request for the
+  same algorithm.
 """
 
 from __future__ import annotations

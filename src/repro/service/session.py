@@ -109,14 +109,19 @@ class QuerySession:
         LRU capacity of the plan cache (``None`` for unbounded).
     stats_cache_size:
         LRU capacity of the statistics cache.
+    idp_block_size, beam_width:
+        Scaling-optimizer knobs, forwarded to the
+        :class:`~repro.planner.Planner` (and part of the plan-cache
+        key).
     """
 
     def __init__(self, catalog, weights=None, eps=0.01, plan_cache_size=128,
-                 stats_cache_size=256):
+                 stats_cache_size=256, idp_block_size=8, beam_width=8):
         self.catalog = catalog
         self.planner = Planner(
             catalog, weights=weights, eps=eps,
             stats_cache=StatsCache(stats_cache_size),
+            idp_block_size=idp_block_size, beam_width=beam_width,
         )
         self.plan_cache = PlanCache(plan_cache_size)
         self._last_fingerprint = None
@@ -125,25 +130,46 @@ class QuerySession:
     # Cached planning
     # ------------------------------------------------------------------
 
-    def _plan_options(self, mode, optimizer, driver, stats, flat_output):
+    def _plan_options(self, mode, resolved_optimizer, driver, stats,
+                      flat_output):
+        # Keyed on the *resolved* algorithm (never the raw "auto"), so
+        # an auto-planned query and an explicit request for the same
+        # algorithm share one cache entry.  The scaling knobs are part
+        # of the key: retuning block size / beam width changes the plan
+        # the algorithm produces, so it must miss, not serve stale.
         return (
             str(mode),
-            optimizer,
+            resolved_optimizer,
             driver,
             str(stats),
             bool(flat_output),
             self.planner.eps,
             self.planner.weights,  # frozen dataclass: hashable as-is
+            self.planner.idp_block_size,
+            self.planner.beam_width,
         )
+
+    @staticmethod
+    def _num_relations(query):
+        """Relation count of any accepted query form (for ``"auto"``)."""
+        if isinstance(query, ParsedQuery):
+            return len(query.relations)
+        return query.num_relations
 
     def plan(self, query, mode="auto", optimizer="exhaustive", driver="fixed",
              stats="exact", flat_output=True, use_cache=True):
         """A :class:`~repro.planner.PhysicalPlan`, via the plan cache.
 
-        Accepts the same arguments as :meth:`Planner.plan`.  Plans are
-        cached per (normalized query structure, catalog fingerprint,
-        planning options); prebuilt :class:`QueryStats` bypass the cache
-        (they are caller state the key cannot see).
+        Accepts the same arguments as :meth:`Planner.plan` (including
+        ``optimizer="auto"``, which picks exhaustive / IDP / beam by
+        relation count).  Plans are cached per (normalized query
+        structure, catalog fingerprint, planning options **including
+        the resolved algorithm and the scaling knobs**) — so ``"auto"``
+        shares entries with an explicit request for the algorithm it
+        resolves to, while retuning ``idp_block_size`` / ``beam_width``
+        misses instead of serving a stale plan; prebuilt
+        :class:`QueryStats` bypass the cache (they are caller state the
+        key cannot see).
         """
         if isinstance(query, str):
             # parse once: the cache key and the planner share the result
@@ -157,10 +183,13 @@ class QuerySession:
                 if self._last_fingerprint is not None:
                     self.plan_cache.clear()
                 self._last_fingerprint = fingerprint
+            resolved = Planner.resolve_optimizer(
+                optimizer, self._num_relations(query)
+            )
             key = self.plan_cache.key(
                 query,
                 fingerprint,
-                self._plan_options(mode, optimizer, driver, stats,
+                self._plan_options(mode, resolved, driver, stats,
                                    flat_output),
             )
             plan = self.plan_cache.get(key)

@@ -2,6 +2,14 @@
 
 from .cebench import DATASET_FLAVORS, CEDataset, DatasetFlavor, build_dataset
 from .dblp_like import EstimationDataset, JoinTask, build_estimation_dataset
+from .large_joins import (
+    LARGE_SHAPES,
+    chain_query,
+    large_query_stats,
+    random_tree_query,
+    scaling_suite,
+    star_query,
+)
 from .random_trees import (
     DEFAULT_FANOUT_RANGE,
     MATCH_PROBABILITY_RANGES,
@@ -33,12 +41,15 @@ __all__ = [
     "EdgeSpec",
     "EstimationDataset",
     "JoinTask",
+    "LARGE_SHAPES",
     "MATCH_PROBABILITY_RANGES",
     "PAPER_SHAPES",
     "SyntheticDataset",
     "build_dataset",
     "build_estimation_dataset",
+    "chain_query",
     "generate_dataset",
+    "large_query_stats",
     "paper_path11",
     "paper_snowflake_3_2",
     "paper_snowflake_5_1",
@@ -46,7 +57,10 @@ __all__ = [
     "path",
     "random_join_tree",
     "random_stats",
+    "random_tree_query",
+    "scaling_suite",
     "snowflake",
     "specs_from_ranges",
     "star",
+    "star_query",
 ]

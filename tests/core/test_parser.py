@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import ParseError, parse_query
+from repro.core import Contradiction, ParseError, parse_query
 
 PAPER_QUERY = """
 select * from R1, R2, R3, R4, R5, R6
@@ -118,3 +118,78 @@ def test_negative_and_string_literals():
 def test_duplicate_alias_rejected():
     with pytest.raises(ParseError, match="duplicate"):
         parse_query("select * from A t, B t where t.x = t.y")
+
+
+# ----------------------------------------------------------------------
+# Conjunctive constant selections (ISSUE 2 bugfix): equal literals
+# dedupe, distinct literals yield a provably-empty predicate — never
+# silent last-literal-wins.
+# ----------------------------------------------------------------------
+
+
+class TestConjunctiveSelections:
+    def test_equal_literals_dedupe(self):
+        parsed = parse_query(
+            "select * from A, B where A.x = B.x and A.v = 1 and A.v = 1"
+        )
+        assert parsed.selections == {"A": {"v": 1}}
+        assert not parsed.is_contradictory
+
+    def test_distinct_literals_are_a_contradiction(self):
+        parsed = parse_query(
+            "select * from A, B where A.x = B.x and A.v = 1 and A.v = 2"
+        )
+        assert parsed.selections["A"]["v"] == Contradiction((1, 2))
+        assert parsed.is_contradictory
+
+    def test_contradiction_absorbs_further_duplicates(self):
+        parsed = parse_query(
+            "select * from A, B where A.x = B.x "
+            "and A.v = 1 and A.v = 2 and A.v = 2 and A.v = 3"
+        )
+        assert parsed.selections["A"]["v"] == Contradiction((1, 2, 3))
+
+    def test_type_mismatched_literals_contradict(self):
+        # 1 and '1' are different constants, never conflated
+        parsed = parse_query(
+            "select * from A, B where A.x = B.x and A.v = 1 and A.v = '1'"
+        )
+        assert parsed.is_contradictory
+
+    def test_same_column_name_on_different_relations_untouched(self):
+        parsed = parse_query(
+            "select * from A, B where A.x = B.x and A.v = 1 and B.v = 2"
+        )
+        assert parsed.selections == {"A": {"v": 1}, "B": {"v": 2}}
+        assert not parsed.is_contradictory
+
+    def test_contradictory_query_executes_to_empty_result(self):
+        from repro import Planner
+        from tests.helpers import make_small_catalog
+
+        catalog = make_small_catalog()
+        sql = (
+            "select * from R1, R2 where R1.B = R2.B "
+            "and R2.C = 1 and R2.C = 2"
+        )
+        plan = Planner(catalog).plan(sql, mode="COM")
+        assert len(plan.catalog.table("R2")) == 0  # empty push-down
+        result = plan.execute(collect_output=True)
+        assert result.output_size == 0
+
+    def test_contradiction_flows_through_the_service_layer(self):
+        from repro import QuerySession
+        from tests.helpers import make_small_catalog
+
+        session = QuerySession(make_small_catalog())
+        sql = (
+            "select * from R1, R2 where R1.B = R2.B "
+            "and R2.C = 3 and R2.C = 4"
+        )
+        report = session.execute(sql, collect_output=True)
+        assert report.ok
+        assert report.result.output_size == 0
+        # distinct contradictions key distinct cache entries
+        other = "select * from R1, R2 where R1.B = R2.B and R2.C = 3"
+        session.plan(other)
+        assert session.plan_cache.stats.misses >= 2

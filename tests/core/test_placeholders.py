@@ -68,9 +68,11 @@ def test_duplicate_placeholder_on_same_column_rejected():
             "select * from R1, R2 where R1.B = R2.B "
             "and R1.A = 3 and R1.A = ?"
         )
-    # duplicate *literal* selections keep their historical
-    # last-write-wins behaviour
+    # duplicate *literal* selections dedupe / contradict instead
+    # (see tests/core/test_parser.py::TestConjunctiveSelections)
     parsed = parse_query(
         "select * from R1, R2 where R1.B = R2.B and R1.A = 3 and R1.A = 4"
     )
-    assert parsed.selections["R1"]["A"] == 4
+    from repro.core.parser import Contradiction
+
+    assert parsed.selections["R1"]["A"] == Contradiction((3, 4))

@@ -1,0 +1,112 @@
+"""Property tests for the scaling optimizers (IDP + beam).
+
+Invariants (ISSUE 2):
+
+* every produced order is a valid connected prefix sequence;
+* IDP is bit-identical to the exhaustive DP when ``block_size >= n``;
+* for small queries (n <= 12) both stay within a recorded cost ratio
+  of the exhaustive optimum (and never beat it — it is the optimum).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import beam_order, exhaustive_optimal, idp_order
+from repro.core.optimizer import incremental_order_cost
+from repro.workloads.large_joins import (
+    chain_query,
+    large_query_stats,
+    random_tree_query,
+    star_query,
+)
+from repro.workloads.random_trees import random_join_tree, random_stats
+
+#: loose quality envelope for the default knobs on n <= 12 queries; the
+#: measured ratios (benchmarks/results/BENCH_optimizer_scaling.json)
+#: are far tighter (mean ~1.0, worst ~2.0 over thousands of seeded
+#: cases), this guards against regressions to arbitrarily bad
+#: stitching.
+MAX_SMALL_QUERY_RATIO = 4.0
+
+
+@st.composite
+def scaling_case(draw, min_nodes=4, max_nodes=12):
+    shape = draw(st.sampled_from(["chain", "star", "random_tree", "fig10"]))
+    n = draw(st.integers(min_nodes, max_nodes))
+    seed = draw(st.integers(0, 10_000))
+    if shape == "chain":
+        query = chain_query(n)
+    elif shape == "star":
+        query = star_query(n)
+    elif shape == "random_tree":
+        query = random_tree_query(n, seed=seed)
+    else:
+        query = random_join_tree(max_nodes=n, seed=seed)
+        return query, random_stats(query, (0.05, 0.5), seed=seed)
+    return query, large_query_stats(query, seed=seed)
+
+
+@given(case=scaling_case(), block_size=st.integers(1, 6))
+@settings(max_examples=40, deadline=None)
+def test_idp_orders_are_valid_connected_prefixes(case, block_size):
+    query, stats = case
+    plan = idp_order(query, stats, block_size=block_size)
+    assert query.is_valid_order(plan.order)
+    # every prefix of a valid order is connected by construction; check
+    # explicitly that each step extends the joined frontier
+    joined = {query.root}
+    for relation in plan.order:
+        assert query.parent(relation) in joined
+        joined.add(relation)
+
+
+@given(case=scaling_case(), beam_width=st.integers(1, 6))
+@settings(max_examples=40, deadline=None)
+def test_beam_orders_are_valid_connected_prefixes(case, beam_width):
+    query, stats = case
+    plan = beam_order(query, stats, beam_width=beam_width)
+    assert query.is_valid_order(plan.order)
+    joined = {query.root}
+    for relation in plan.order:
+        assert query.parent(relation) in joined
+        joined.add(relation)
+
+
+@given(case=scaling_case(max_nodes=9))
+@settings(max_examples=30, deadline=None)
+def test_idp_bit_identical_when_block_covers_query(case):
+    query, stats = case
+    exact = exhaustive_optimal(query, stats)
+    for block_size in (query.num_relations, query.num_relations + 5):
+        plan = idp_order(query, stats, block_size=block_size)
+        assert plan.order == exact.order
+        assert plan.cost == exact.cost
+
+
+@given(case=scaling_case())
+@settings(max_examples=30, deadline=None)
+def test_scaling_optimizers_within_recorded_ratio_of_exhaustive(case):
+    query, stats = case
+    exact = exhaustive_optimal(query, stats)
+    idp = idp_order(query, stats, block_size=8)
+    beam = beam_order(query, stats, beam_width=8)
+    for plan in (idp, beam):
+        # never better than the optimum...
+        assert plan.cost >= exact.cost - 1e-9 * max(1.0, exact.cost)
+        # ...and never catastrophically worse on small queries
+        assert plan.cost <= MAX_SMALL_QUERY_RATIO * exact.cost + 1e-9
+
+
+@given(case=scaling_case(max_nodes=10))
+@settings(max_examples=20, deadline=None)
+def test_reported_costs_match_incremental_recosting(case):
+    """The cost field of every scaling plan is the sum of its own
+    order's delta costs (one comparable objective across algorithms)."""
+    query, stats = case
+    for plan in (
+        idp_order(query, stats, block_size=3),
+        beam_order(query, stats, beam_width=3),
+        exhaustive_optimal(query, stats),
+    ):
+        recosted = incremental_order_cost(query, stats, plan.order)
+        assert abs(recosted - plan.cost) <= 1e-9 * max(1.0, plan.cost)

@@ -150,3 +150,93 @@ def test_cache_info_exposes_both_caches(session):
     info = session.cache_info()
     assert info["plan_cache"].misses == 1
     assert info["stats_cache"].misses >= 1
+
+
+# ----------------------------------------------------------------------
+# Optimizer resolution in the cache key (ISSUE 2)
+# ----------------------------------------------------------------------
+
+
+def test_auto_shares_cache_entry_with_resolved_algorithm(session):
+    # 6 relations: "auto" resolves to "exhaustive", so the two requests
+    # share one plan-cache entry.
+    session.plan(SIX_RELATION_SQL, optimizer="auto")
+    assert session.plan_cache.stats.misses == 1
+    session.plan(SIX_RELATION_SQL, optimizer="exhaustive")
+    assert session.plan_cache.stats.hits == 1
+    assert len(session.plan_cache) == 1
+
+
+def test_different_resolved_algorithms_key_separately(session):
+    session.plan(SIX_RELATION_SQL, optimizer="exhaustive")
+    session.plan(SIX_RELATION_SQL, optimizer="beam")
+    assert session.plan_cache.stats.misses == 2
+    assert len(session.plan_cache) == 2
+
+
+def test_session_accepts_scaling_optimizers(session):
+    for optimizer in ("idp", "beam", "auto"):
+        plan = session.plan(SIX_RELATION_SQL, optimizer=optimizer)
+        assert plan.query.is_valid_order(plan.order)
+
+
+# ----------------------------------------------------------------------
+# Concurrent session use (ISSUE 2: thread-safe shared caches)
+# ----------------------------------------------------------------------
+
+
+def test_concurrent_planning_on_one_session(session):
+    import threading
+
+    queries = [
+        SIX_RELATION_SQL,
+        "select * from R1, R2 where R1.B = R2.B",
+        "select * from R1, R2, R3 where R1.B = R2.B and R2.C = R3.C",
+        "select * from R1, R5, R6 where R1.E = R5.E and R5.F = R6.F",
+    ]
+    errors = []
+    barrier = threading.Barrier(8)
+
+    def worker(idx):
+        try:
+            barrier.wait()
+            for i in range(12):
+                plan = session.plan(queries[(idx + i) % len(queries)])
+                assert plan is not None
+        except Exception as exc:  # pragma: no cover - the regression
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(8)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    assert not errors, errors
+    stats = session.plan_cache.stats
+    assert stats.lookups == 8 * 12
+    # every distinct query planned at least once, the rest were hits
+    assert len(session.plan_cache) == len(queries)
+
+
+def test_scaling_knobs_are_part_of_the_cache_key():
+    from tests.helpers import make_small_catalog
+
+    catalog = make_small_catalog()
+    a = QuerySession(catalog, beam_width=8)
+    a.plan(SIX_RELATION_SQL, optimizer="beam")
+    a.plan(SIX_RELATION_SQL, optimizer="beam")
+    assert a.plan_cache.stats.hits == 1
+
+    # retuning the knob on the planner must miss, not serve stale
+    a.planner.beam_width = 32
+    a.plan(SIX_RELATION_SQL, optimizer="beam")
+    assert a.plan_cache.stats.misses == 2
+
+    b = QuerySession(catalog, idp_block_size=4)
+    b.plan(SIX_RELATION_SQL, optimizer="idp")
+    b.planner.idp_block_size = 6
+    b.plan(SIX_RELATION_SQL, optimizer="idp")
+    assert b.plan_cache.stats.misses == 2
