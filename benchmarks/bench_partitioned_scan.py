@@ -1,0 +1,141 @@
+"""Partitioned-storage benchmark: index build + probe throughput vs shards.
+
+For one large build relation, measures three phases per shard count:
+
+* **partition** — one-off cost of re-clustering the table into
+  contiguous hash-shards (paid once per catalog, amortized across
+  queries);
+* **build** — constructing the hash index (per-shard sorts, fanned out
+  over the worker pool when cores allow);
+* **probe** — a large batch lookup (keys routed to their shard, probed
+  in parallel).
+
+Records absolute times, throughputs and speedups over the monolithic
+(1-shard) layout to ``benchmarks/results/BENCH_partitioned_scan.json``,
+together with the core count the run saw — shard fan-out is a
+parallelism optimization, so single-core runners only get the smaller
+per-shard sort/search constants, while the multi-core CI runner shows
+the real effect.
+
+Run ``python benchmarks/bench_partitioned_scan.py`` (full sweep) or
+``--smoke`` for the CI gate (~seconds).  Every configuration is
+cross-checked against the monolithic index for identical match counts
+before its numbers are recorded.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.storage import HashIndex, PartitionedTable
+from repro.workloads.partitioned import probe_batch, scan_build_table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+FULL_ROWS = 2_000_000
+FULL_PROBES = 2_000_000
+SMOKE_ROWS = 250_000
+SMOKE_PROBES = 250_000
+SHARD_COUNTS = (1, 2, 4, 8)
+REPEATS = 3
+
+
+def best_of(fn, repeats=REPEATS):
+    best = None
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def measure(rows, probes, shard_counts, skew, seed):
+    base_table = scan_build_table(rows, skew=skew, seed=seed)
+    domain = int(base_table.column("key").max()) + 1
+    probe_keys = probe_batch(probes, domain, seed=seed + 1)
+    reference = HashIndex(base_table.column("key")).lookup(probe_keys)
+    reference_total = reference.total_matches()
+
+    entries = []
+    for num_shards in shard_counts:
+        partition_s, table = best_of(
+            lambda: PartitionedTable.from_table(base_table, "key", num_shards)
+            if num_shards > 1 else base_table,
+            repeats=1,
+        )
+        build_s, index = best_of(lambda: table.build_hash_index("key"))
+        probe_s, result = best_of(lambda: index.lookup(probe_keys))
+        if result.total_matches() != reference_total:
+            raise AssertionError(
+                f"shards={num_shards}: {result.total_matches()} matches, "
+                f"expected {reference_total}"
+            )
+        entry = {
+            "shards": num_shards,
+            "partition_s": round(partition_s, 4),
+            "build_s": round(build_s, 4),
+            "build_rows_per_s": round(rows / build_s),
+            "probe_s": round(probe_s, 4),
+            "probes_per_s": round(probes / probe_s),
+        }
+        if num_shards > 1:
+            # shard balance: a hot shard bounds the parallel speedup
+            sketches = index.sketches()
+            shard_rows = [s.num_rows for s in sketches]
+            entry["shard_balance"] = {
+                "min_rows": min(shard_rows),
+                "max_rows": max(shard_rows),
+                "distinct": [s.num_distinct for s in sketches],
+            }
+        entries.append(entry)
+    baseline = entries[0]
+    for entry in entries:
+        entry["build_speedup"] = round(baseline["build_s"] / entry["build_s"], 2)
+        entry["probe_speedup"] = round(baseline["probe_s"] / entry["probe_s"], 2)
+    return entries
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fast run for CI")
+    parser.add_argument("--rows", type=int, default=None,
+                        help="build-relation rows (overrides the preset)")
+    parser.add_argument("--probes", type=int, default=None,
+                        help="probe-batch size (overrides the preset)")
+    parser.add_argument("--skew", type=float, default=0.3,
+                        help="key skew in [0, 1) (default 0.3)")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    rows = args.rows or (SMOKE_ROWS if args.smoke else FULL_ROWS)
+    probes = args.probes or (SMOKE_PROBES if args.smoke else FULL_PROBES)
+    start = time.perf_counter()
+    entries = measure(rows, probes, SHARD_COUNTS, args.skew, args.seed)
+    record = {
+        "benchmark": "partitioned_scan",
+        "mode": "smoke" if args.smoke else "full",
+        "rows": rows,
+        "probes": probes,
+        "skew": args.skew,
+        "cpu_count": os.cpu_count(),
+        "wall_s": round(time.perf_counter() - start, 2),
+        "shard_counts": entries,
+        "best_build_speedup": max(e["build_speedup"] for e in entries),
+        "best_probe_speedup": max(e["probe_speedup"] for e in entries),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_partitioned_scan.json"
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    print(json.dumps(record, indent=2))
+    print(f"[saved to {path}]")
+
+
+if __name__ == "__main__":
+    main()

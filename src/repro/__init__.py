@@ -56,7 +56,15 @@ from .service import (
     QueryReport,
     QuerySession,
 )
-from .storage import Catalog, Table, load_catalog, save_catalog
+from .storage import (
+    Catalog,
+    PartitionedTable,
+    ShardedHashIndex,
+    Table,
+    load_catalog,
+    partitioned_catalog,
+    save_catalog,
+)
 
 __version__ = "1.1.0"
 
@@ -73,6 +81,7 @@ __all__ = [
     "OptimizedPlan",
     "ParseError",
     "ParsedQuery",
+    "PartitionedTable",
     "PhysicalPlan",
     "PlanCache",
     "PlanCost",
@@ -81,6 +90,7 @@ __all__ = [
     "QueryReport",
     "QuerySession",
     "QueryStats",
+    "ShardedHashIndex",
     "Table",
     "beam_order",
     "best_driver",
@@ -95,6 +105,7 @@ __all__ = [
     "load_catalog",
     "optimize_sj",
     "parse_query",
+    "partitioned_catalog",
     "plan_cost",
     "save_catalog",
     "spanning_tree_decomposition",

@@ -164,9 +164,17 @@ def execute_cyclic(
     for cyclic queries — residual predicates break factorization).
     """
     from ..engine.executor import execute
+    from ..storage.partition import PartitionedTable
 
     mode = ExecutionMode(mode)
     query = plan.query
+    for relation in query.relations:
+        if isinstance(catalog.table(relation), PartitionedTable):
+            raise ValueError(
+                "cyclic evaluation requires an unpartitioned catalog: "
+                f"relation {relation!r} is hash-partitioned and residual "
+                "filters would mix base and physical row ids"
+            )
     if not plan.residuals:
         result = execute(
             catalog, query, order, mode,

@@ -197,17 +197,24 @@ def stats_from_data(catalog, query):
     match and ``fo`` the average match count among those that do.
     This is the ground truth that estimators (Section 3.2) approximate
     and that the cost-model validation (Figure 14) uses.
+
+    Derivation goes through ``probe_stats``, which returns the two
+    integer summaries (keys matched, total matches) without
+    materializing match rows.  Over a hash-partitioned relation the
+    index computes those by aggregating per-shard sketches — each
+    probe key is routed to exactly one shard, so the shard-wise sums
+    are *bit-identical* to the monolithic measurement and derived
+    statistics never depend on the physical layout.
     """
     edge_stats = {}
     for edge in query.edges:
         parent_keys = catalog.table(edge.parent).column(edge.parent_attr)
         index = catalog.hash_index(edge.child, edge.child_attr)
-        result = index.lookup(parent_keys)
         num_parents = len(parent_keys)
-        matched = int(result.matched_mask.sum())
+        matched, total_matches = index.probe_stats(parent_keys)
         m = matched / num_parents if num_parents else 0.0
         if matched:
-            fo = float(result.counts.sum()) / matched
+            fo = float(total_matches) / matched
         else:
             fo = 1.0
         edge_stats[edge.child] = EdgeStats(m=m, fo=fo)

@@ -91,6 +91,12 @@ class ExecutionResult:
     output_rows: dict = None
     #: the factorized result object (COM variants) if kept
     factorized: FactorizedResult = None
+    #: wall time of the phase-2 hash-index build (sharded or merged)
+    index_build_seconds: float = 0.0
+    #: wall time of the phase-1 semi-join reduction (SJ variants)
+    reduction_seconds: float = 0.0
+    #: max shard fan-out among the build-side indexes (1 = unpartitioned)
+    shards_used: int = 1
 
     def weighted_cost(self, weights=CostWeights()):
         return self.counters.weighted_cost(weights)
@@ -123,6 +129,21 @@ def _build_bitvectors(query, catalog, reduction=None, num_bits=None):
             keys = keys[reduction.rows(edge.child)]
         filters[edge.child] = BitvectorFilter(keys, num_bits=num_bits)
     return filters
+
+
+def _remap_factorized_rows(result, catalog):
+    """Translate a finished factorized result to base-table row ids.
+
+    During the pipeline, node rows are physical (re-clustered) ids —
+    probes fetch key values through them.  Once every join and check
+    has run they are pure payload, so mapping them through
+    ``original_rows`` (the identity for ordinary tables) makes every
+    expansion path — ``expand``, ``expand_all``,
+    ``expand_depth_first`` — yield the same layout-independent ids as
+    ``output_rows``.
+    """
+    for relation, node in result.nodes.items():
+        node.rows = catalog.table(relation).original_rows(node.rows)
 
 
 def _build_indexes(query, catalog, reduction=None):
@@ -239,11 +260,19 @@ def execute(
     start = time.perf_counter()
 
     reduction = None
+    reduction_seconds = 0.0
     if mode.uses_semijoin:
         reduction = full_reduction(query, catalog, child_orders=child_orders)
         counters.semijoin_probes += reduction.semijoin_probes
+        reduction_seconds = time.perf_counter() - start
 
+    build_start = time.perf_counter()
     indexes = _build_indexes(query, catalog, reduction)
+    index_build_seconds = time.perf_counter() - build_start
+    shards_used = max(
+        (getattr(index, "num_shards", 1) for index in indexes.values()),
+        default=1,
+    )
     bitvectors = None
     checks_after = None
     if mode.uses_bitvectors:
@@ -263,6 +292,7 @@ def execute(
             counters, max_intermediate_tuples, driver_rows,
         )
         output_size = factorized.count_rows()
+        _remap_factorized_rows(factorized, catalog)
         if flat_output:
             # Expansion step: generate the flat result batch-at-a-time
             # (kept only if requested); each generated tuple is work.
@@ -297,7 +327,14 @@ def execute(
         )
         output_size = len(next(iter(frame.values()))) if frame else 0
         if collect_output:
-            output_rows = frame
+            # Partitioned tables re-cluster rows; translate collected
+            # row ids back to base-table ids so results are
+            # layout-independent (the identity for ordinary tables).
+            # The factorized branch already remapped its node rows.
+            output_rows = {
+                rel: catalog.table(rel).original_rows(rows)
+                for rel, rows in frame.items()
+            }
 
     wall_time = time.perf_counter() - start
     return ExecutionResult(
@@ -308,6 +345,9 @@ def execute(
         wall_time=wall_time,
         output_rows=output_rows,
         factorized=factorized,
+        index_build_seconds=index_build_seconds,
+        reduction_seconds=reduction_seconds,
+        shards_used=shards_used,
     )
 
 

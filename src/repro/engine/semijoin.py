@@ -11,8 +11,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..storage.hashindex import HashIndex
-
 __all__ = ["ReductionResult", "full_reduction"]
 
 
@@ -43,13 +41,18 @@ class ReductionResult:
         return len(self.reduced_rows[relation]) / original_size
 
     def reduced_index(self, catalog, relation, attribute):
-        """Hash index on ``attribute`` over the *reduced* rows."""
+        """Hash index on ``attribute`` over the *reduced* rows.
+
+        Built through :meth:`~repro.storage.Table.build_hash_index`, so
+        a partitioned relation reduced on its shard key yields a
+        sharded index (the surviving rows are re-routed shard by shard)
+        and the reduction probes against it fan out like phase 2.
+        """
         key = (relation, attribute)
         index = self._reduced_indexes.get(key)
         if index is None:
-            table = catalog.table(relation)
-            index = HashIndex(
-                table.column(attribute), rows=self.reduced_rows[relation]
+            index = catalog.table(relation).build_hash_index(
+                attribute, rows=self.reduced_rows[relation]
             )
             self._reduced_indexes[key] = index
         return index

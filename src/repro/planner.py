@@ -17,11 +17,13 @@ it:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from .core.costmodel import CostMemo, CostWeights, plan_cost
+from .core.lru import LRUCache
 from .core.optimizer import (
     beam_order,
     choose_optimizer,
@@ -35,10 +37,18 @@ from .core.query import JoinQuery
 from .core.stats import EdgeStats, QueryStats, StatsCache, stats_from_data
 from .engine.executor import execute
 from .modes import ExecutionMode
+from .storage.partition import partition_replacements
 from .storage.table import Catalog, Table
 
-__all__ = ["PhysicalPlan", "Planner", "filtered_table",
-           "push_down_selections"]
+__all__ = ["AUTO_MAX_SHARDS", "AUTO_MIN_ROWS_PER_SHARD", "PhysicalPlan",
+           "Planner", "filtered_table", "push_down_selections"]
+
+#: ``partitioning="auto"`` only shards when the largest probe target
+#: has at least this many rows per shard — below that, shard routing
+#: overhead outweighs the smaller per-shard sorts and probes
+AUTO_MIN_ROWS_PER_SHARD = 16_384
+#: cap for ``partitioning="auto"`` (explicit ints may exceed it)
+AUTO_MAX_SHARDS = 8
 
 
 def filtered_table(table, alias, predicate):
@@ -49,7 +59,15 @@ def filtered_table(table, alias, predicate):
     selections requiring distinct constants on one column) matches no
     row, so the derived relation is empty and the executor
     short-circuits to an empty join result.
+
+    The result is always in *base* row order: filtering a
+    hash-partitioned table goes through
+    :meth:`~repro.storage.Table.original_rows` /
+    :meth:`~repro.storage.Table.gather`, so planning over an already
+    re-clustered catalog still reports layout-independent row ids (the
+    planner re-partitions the filtered relations itself when asked).
     """
+    partitioned = getattr(table, "num_shards", 1) > 1
     if predicate:
         mask = np.ones(len(table), dtype=bool)
         for column, literal in predicate.items():
@@ -57,9 +75,17 @@ def filtered_table(table, alias, predicate):
                 mask[:] = False
                 break
             mask &= table.column(column) == literal
-        columns = {
-            name: values[mask] for name, values in table.columns.items()
-        }
+        if partitioned:
+            base_rows = np.sort(table.original_rows(np.flatnonzero(mask)))
+            columns = table.gather(base_rows)
+        else:
+            columns = {
+                name: values[mask] for name, values in table.columns.items()
+            }
+    elif partitioned:
+        # no selection: keep the caller's layout (zero-copy rename) —
+        # it is already self-describing and layout-correct
+        return table.renamed(alias)
     else:
         columns = dict(table.columns)
     return Table(alias, columns)
@@ -77,7 +103,10 @@ def push_down_selections(catalog, parsed):
         table = catalog.table(table_name)
         predicate = parsed.selections.get(alias, {})
         derived.add(filtered_table(table, alias, predicate))
-    return derived
+    # unselected aliases share the base catalog's arrays — register so
+    # an acknowledged in-place mutation invalidates this catalog's
+    # indexes too (plans pin their derived catalog and may be re-run)
+    return catalog.register_derived(derived)
 
 
 @dataclass
@@ -92,6 +121,8 @@ class PhysicalPlan:
     predicted_cost: float
     child_orders: dict = field(default_factory=dict)
     weights: CostWeights = field(default_factory=CostWeights)
+    #: resolved hash-shard fan-out of the plan's catalog (1 = off)
+    num_shards: int = 1
 
     def execute(self, flat_output=True, collect_output=False,
                 max_intermediate_tuples=50_000_000):
@@ -115,9 +146,10 @@ class PhysicalPlan:
             probes = com_probes_per_join(self.query, self.stats, self.order)
         else:
             probes = std_probes_per_join(self.query, self.stats, self.order)
+        shards = f" shards={self.num_shards}" if self.num_shards > 1 else ""
         lines = [
             f"PhysicalPlan mode={self.mode} driver={self.query.root} "
-            f"predicted_cost={self.predicted_cost:,.0f}",
+            f"predicted_cost={self.predicted_cost:,.0f}{shards}",
             f"  SCAN {self.query.root} "
             f"(N={self.stats.driver_size:,.0f})",
         ]
@@ -164,6 +196,17 @@ class Planner:
         Tuning knobs for the scaling optimizers (``optimizer="idp"`` /
         ``"beam"`` / ``"auto"``); see :func:`repro.core.idp_order` and
         :func:`repro.core.beam_order`.
+    partitioning:
+        Default storage layout for planned queries: ``"off"`` (the
+        exact single-index behavior), an ``int`` shard count, or
+        ``"auto"`` (shard count from the largest probe target and the
+        core count; 1 when tables are small).  When the resolved count
+        exceeds 1, each non-root relation is replaced by a
+        :class:`~repro.storage.partition.PartitionedTable` hash-sharded
+        on its probe attribute, so index builds and probes fan out
+        shard-by-shard.  Plans, predicted costs and result sets are
+        identical across shard counts; only wall time changes.
+        Overridable per :meth:`plan` call.
     """
 
     #: optimizer choices exposed to ``plan()`` — ``"auto"`` resolves by
@@ -172,7 +215,7 @@ class Planner:
                   "survival", "rank", "result_size")
 
     def __init__(self, catalog, weights=None, eps=0.01, stats_cache=None,
-                 idp_block_size=8, beam_width=8):
+                 idp_block_size=8, beam_width=8, partitioning="off"):
         self.catalog = catalog
         self.weights = weights or CostWeights()
         self.eps = eps
@@ -181,6 +224,84 @@ class Planner:
         self.stats_cache = stats_cache
         self.idp_block_size = idp_block_size
         self.beam_width = beam_width
+        self.partitioning = self._check_partitioning(partitioning)
+        # Two levels of content-addressed partitioning reuse: whole
+        # derived catalogs (so exact-repeat plan() calls share built
+        # sharded indexes) and the re-clustered replacement tables
+        # alone, keyed only on the *partitioned* relations' content —
+        # queries differing elsewhere (e.g. a driver-side selection
+        # constant) reuse the expensive re-clustering and only pay a
+        # cheap catalog derivation.
+        self._partition_cache = LRUCache(8)
+        self._replacement_cache = LRUCache(8)
+
+    @staticmethod
+    def _check_partitioning(partitioning):
+        if partitioning == "off" or partitioning == "auto":
+            return partitioning
+        if isinstance(partitioning, int) and not isinstance(partitioning, bool):
+            if partitioning < 1:
+                raise ValueError(
+                    f"partitioning shard count must be >= 1, got {partitioning}"
+                )
+            return partitioning
+        raise ValueError(
+            f'partitioning must be "auto", "off" or a shard count, '
+            f"got {partitioning!r}"
+        )
+
+    def resolve_partitioning(self, partitioning=None, query=None):
+        """The concrete shard count a query will be planned with.
+
+        ``None`` falls back to the planner default; ``"off"`` resolves
+        to 1; an ``int`` to itself; ``"auto"`` scales with the largest
+        non-root base table (one shard per
+        :data:`AUTO_MIN_ROWS_PER_SHARD` rows) capped by the core count
+        and :data:`AUTO_MAX_SHARDS`.  The resolved count is part of the
+        service layer's plan-cache key, mirroring
+        :meth:`resolve_optimizer`.
+        """
+        if partitioning is None:
+            partitioning = self.partitioning
+        partitioning = self._check_partitioning(partitioning)
+        if partitioning == "off":
+            return 1
+        if isinstance(partitioning, int):
+            return partitioning
+        if isinstance(query, str):
+            query = parse_query(query)
+        if isinstance(query, ParsedQuery):
+            aliases = list(query.relations)
+            sizes = [
+                len(self.catalog.table(query.relations[alias]))
+                for alias in aliases[1:]
+                if query.relations[alias] in self.catalog
+            ]
+        elif isinstance(query, JoinQuery):
+            sizes = [
+                len(self.catalog.table(rel))
+                for rel in query.non_root_relations
+                if rel in self.catalog
+            ]
+        else:
+            sizes = []
+        max_rows = max(sizes, default=0)
+        cpus = os.cpu_count() or 1
+        return int(max(
+            1, min(AUTO_MAX_SHARDS, cpus, max_rows // AUTO_MIN_ROWS_PER_SHARD)
+        ))
+
+    def resolve_partition_floor(self, partitioning=None):
+        """Minimum (post-selection) table size worth re-clustering.
+
+        Non-zero only for ``"auto"`` — explicit shard counts always
+        apply.  Part of the service plan-cache key: the floor changes
+        which relations actually shard, so ``"auto"`` and an explicit
+        count that resolve to the same number must not share a plan.
+        """
+        if partitioning is None:
+            partitioning = self.partitioning
+        return AUTO_MIN_ROWS_PER_SHARD if partitioning == "auto" else 0
 
     @staticmethod
     def resolve_optimizer(optimizer, num_relations):
@@ -297,6 +418,7 @@ class Planner:
         driver="fixed",
         stats="exact",
         flat_output=True,
+        partitioning=None,
     ):
         """Build a :class:`PhysicalPlan`.
 
@@ -318,6 +440,14 @@ class Planner:
         stats:
             ``"exact"``, ``"sampling"``, or a prebuilt
             :class:`QueryStats`.
+        partitioning:
+            ``"auto"``, ``"off"`` or a shard count; ``None`` (default)
+            uses the planner's configured default.  When the resolved
+            count exceeds 1 the plan executes against a hash-partitioned
+            derivative of the catalog; the partitioned layout is chosen
+            for the query's given rooting, so with ``driver="auto"`` a
+            rerooted winner still runs correctly (merged-view indexes)
+            but only probes matching the shard key fan out.
         """
         if optimizer not in self.OPTIMIZERS:
             raise ValueError(
@@ -336,25 +466,86 @@ class Planner:
                 )
             catalog = push_down_selections(catalog, query)
             join_query = query.to_join_query()
-            if self.stats_cache is not None:
-                data_token = (
-                    self.catalog.fingerprint(),
-                    tuple(sorted(query.relations.items())),
-                    tuple(sorted(
-                        (alias, column, literal)
-                        for alias, predicate in query.selections.items()
-                        for column, literal in predicate.items()
-                    )),
-                )
+            token_extra = (
+                tuple(sorted(query.relations.items())),
+                tuple(sorted(
+                    (alias, column, literal)
+                    for alias, predicate in query.selections.items()
+                    for column, literal in predicate.items()
+                )),
+            )
         elif isinstance(query, JoinQuery):
             join_query = query
-            if self.stats_cache is not None:
-                data_token = (self.catalog.fingerprint(),)
+            token_extra = ()
         else:
             raise TypeError(
                 f"query must be SQL text, ParsedQuery or JoinQuery; "
                 f"got {type(query).__name__}"
             )
+
+        num_shards = self.resolve_partitioning(partitioning, query)
+        # "auto" resolves from base-table sizes (cache keys must be
+        # computable before push-down); this floor keeps it from
+        # re-clustering a selection that kept only a few rows
+        partition_floor = self.resolve_partition_floor(partitioning)
+        content_token = None
+        if num_shards > 1 or self.stats_cache is not None:
+            # the base-catalog fingerprint (content-cached) anchors both
+            # the partitioned-catalog reuse and the stats cache, so any
+            # data change re-partitions and re-derives automatically
+            content_token = (self.catalog.fingerprint(),) + token_extra
+        source_catalog = catalog
+        effective_shards = 1
+        if num_shards > 1:
+            shard_spec = tuple(sorted(
+                (edge.child, edge.child_attr) for edge in join_query.edges
+            ))
+            children = {edge.child for edge in join_query.edges}
+            if isinstance(query, ParsedQuery):
+                # only the partitioned relations' identity + selections:
+                # a literal on the driver must not force a re-cluster
+                child_token = (
+                    tuple(sorted(
+                        (alias, table_name)
+                        for alias, table_name in query.relations.items()
+                        if alias in children
+                    )),
+                    tuple(sorted(
+                        (alias, column, literal)
+                        for alias, predicate in query.selections.items()
+                        if alias in children
+                        for column, literal in predicate.items()
+                    )),
+                )
+            else:
+                child_token = ()
+            replacements = self._replacement_cache.get_or_compute(
+                (self.catalog.fingerprint(), child_token, shard_spec,
+                 num_shards, partition_floor),
+                lambda: partition_replacements(
+                    source_catalog, join_query, num_shards,
+                    min_rows=partition_floor,
+                ),
+            )
+            if replacements:
+                effective_shards = num_shards
+                catalog = self._partition_cache.get_or_compute(
+                    content_token + (shard_spec, num_shards, partition_floor),
+                    lambda: source_catalog.derived_with(replacements),
+                )
+        # Sampling draws row *positions*, so it must see the layout-
+        # independent source rows or the fixed-seed sample (and hence
+        # the plan) would vary with the shard count; exact derivation
+        # is bit-identical either way and runs on the partitioned
+        # catalog to use (and warm) the sharded indexes.
+        stats_catalog = source_catalog if stats == "sampling" else catalog
+        if self.stats_cache is not None:
+            # derived statistics are layout-independent by construction
+            # (exact derivation sums the same integers shard by shard;
+            # sampling reads the source catalog), so entries are shared
+            # across shard counts instead of re-running an identical
+            # O(data) scan every time the knob changes
+            data_token = content_token
 
         optimizer = self.resolve_optimizer(optimizer,
                                            join_query.num_relations)
@@ -369,7 +560,7 @@ class Planner:
         best = None
         for root in drivers:
             rooted = join_query.rerooted(root)
-            rooted_stats = self.derive_stats(catalog, rooted, stats,
+            rooted_stats = self.derive_stats(stats_catalog, rooted, stats,
                                              data_token=data_token)
             # One memo per rooting: every strategy's order search and
             # costing share the same survival/Eq. (1) subset tables.
@@ -390,5 +581,6 @@ class Planner:
                         predicted_cost=cost,
                         child_orders=child_orders,
                         weights=self.weights,
+                        num_shards=effective_shards,
                     )
         return best

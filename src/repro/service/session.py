@@ -19,6 +19,7 @@ from ..core.parser import ParsedQuery, Placeholder, parse_query
 from ..core.stats import QueryStats, StatsCache
 from ..engine import BudgetExceededError
 from ..planner import Planner, filtered_table
+from ..storage.partition import PartitionedTable
 from .plancache import PlanCache
 
 __all__ = ["PreparedStatement", "QueryReport", "QuerySession"]
@@ -45,6 +46,15 @@ class QueryReport:
     cache_hit: bool = False
     planning_seconds: float = 0.0
     execution_seconds: float = 0.0
+    #: hash-shard fan-out the execution ran with (1 = unpartitioned)
+    shards_used: int = 1
+    #: wall time the engine spent building phase-2 hash indexes
+    #: (per-phase breakdown of ``execution_seconds``; benchmark and
+    #: service callers read this one consistent shape)
+    index_build_seconds: float = 0.0
+    #: wall time of the phase-1 semi-join reduction (SJ modes build
+    #: their reduced indexes here, so read both phases for build cost)
+    reduction_seconds: float = 0.0
     timed_out: bool = False
     error: Exception = None
 
@@ -93,6 +103,14 @@ def _reported_run(query, plan_phase):
     except Exception as exc:  # noqa: BLE001
         report.error = exc
     report.execution_seconds = time.perf_counter() - t1
+    if report.result is not None:
+        report.shards_used = getattr(report.result, "shards_used", 1)
+        report.index_build_seconds = getattr(
+            report.result, "index_build_seconds", 0.0
+        )
+        report.reduction_seconds = getattr(
+            report.result, "reduction_seconds", 0.0
+        )
     return report
 
 
@@ -113,15 +131,23 @@ class QuerySession:
         Scaling-optimizer knobs, forwarded to the
         :class:`~repro.planner.Planner` (and part of the plan-cache
         key).
+    partitioning:
+        Default storage layout (``"auto"`` / ``"off"`` / shard count),
+        forwarded to the :class:`~repro.planner.Planner`; the
+        *resolved* shard count is part of the plan-cache key, so
+        retuning the layout misses instead of serving a plan pinned to
+        a differently-sharded catalog.
     """
 
     def __init__(self, catalog, weights=None, eps=0.01, plan_cache_size=128,
-                 stats_cache_size=256, idp_block_size=8, beam_width=8):
+                 stats_cache_size=256, idp_block_size=8, beam_width=8,
+                 partitioning="off"):
         self.catalog = catalog
         self.planner = Planner(
             catalog, weights=weights, eps=eps,
             stats_cache=StatsCache(stats_cache_size),
             idp_block_size=idp_block_size, beam_width=beam_width,
+            partitioning=partitioning,
         )
         self.plan_cache = PlanCache(plan_cache_size)
         self._last_fingerprint = None
@@ -131,12 +157,14 @@ class QuerySession:
     # ------------------------------------------------------------------
 
     def _plan_options(self, mode, resolved_optimizer, driver, stats,
-                      flat_output):
-        # Keyed on the *resolved* algorithm (never the raw "auto"), so
-        # an auto-planned query and an explicit request for the same
-        # algorithm share one cache entry.  The scaling knobs are part
-        # of the key: retuning block size / beam width changes the plan
-        # the algorithm produces, so it must miss, not serve stale.
+                      flat_output, resolved_shards, partition_floor):
+        # Keyed on the *resolved* algorithm and shard count (never the
+        # raw "auto"), so an auto-planned query and an explicit request
+        # for the same resolution share one cache entry.  The scaling
+        # knobs are part of the key: retuning block size / beam width
+        # changes the plan the algorithm produces, so it must miss, not
+        # serve stale; likewise the shard count pins the plan to the
+        # partitioned catalog it was built against.
         return (
             str(mode),
             resolved_optimizer,
@@ -147,6 +175,10 @@ class QuerySession:
             self.planner.weights,  # frozen dataclass: hashable as-is
             self.planner.idp_block_size,
             self.planner.beam_width,
+            resolved_shards,
+            # "auto" applies a post-selection size floor explicit
+            # counts don't, so equal resolutions may shard differently
+            partition_floor,
         )
 
     @staticmethod
@@ -157,19 +189,21 @@ class QuerySession:
         return query.num_relations
 
     def plan(self, query, mode="auto", optimizer="exhaustive", driver="fixed",
-             stats="exact", flat_output=True, use_cache=True):
+             stats="exact", flat_output=True, use_cache=True,
+             partitioning=None):
         """A :class:`~repro.planner.PhysicalPlan`, via the plan cache.
 
         Accepts the same arguments as :meth:`Planner.plan` (including
         ``optimizer="auto"``, which picks exhaustive / IDP / beam by
-        relation count).  Plans are cached per (normalized query
-        structure, catalog fingerprint, planning options **including
-        the resolved algorithm and the scaling knobs**) — so ``"auto"``
-        shares entries with an explicit request for the algorithm it
-        resolves to, while retuning ``idp_block_size`` / ``beam_width``
-        misses instead of serving a stale plan; prebuilt
-        :class:`QueryStats` bypass the cache (they are caller state the
-        key cannot see).
+        relation count, and ``partitioning``, which defaults to the
+        session's configured layout).  Plans are cached per (normalized
+        query structure, catalog fingerprint, planning options
+        **including the resolved algorithm, the scaling knobs and the
+        resolved shard count**) — so ``"auto"`` shares entries with an
+        explicit request for the resolution it maps to, while retuning
+        ``idp_block_size`` / ``beam_width`` / ``partitioning`` misses
+        instead of serving a stale plan; prebuilt :class:`QueryStats`
+        bypass the cache (they are caller state the key cannot see).
         """
         if isinstance(query, str):
             # parse once: the cache key and the planner share the result
@@ -186,23 +220,31 @@ class QuerySession:
             resolved = Planner.resolve_optimizer(
                 optimizer, self._num_relations(query)
             )
+            resolved_shards = self.planner.resolve_partitioning(
+                partitioning, query
+            )
+            partition_floor = self.planner.resolve_partition_floor(
+                partitioning
+            )
             key = self.plan_cache.key(
                 query,
                 fingerprint,
                 self._plan_options(mode, resolved, driver, stats,
-                                   flat_output),
+                                   flat_output, resolved_shards,
+                                   partition_floor),
             )
             plan = self.plan_cache.get(key)
             if plan is None:
                 plan = self.planner.plan(
                     query, mode=mode, optimizer=optimizer, driver=driver,
                     stats=stats, flat_output=flat_output,
+                    partitioning=partitioning,
                 )
                 self.plan_cache.put(key, plan)
             return plan
         return self.planner.plan(
             query, mode=mode, optimizer=optimizer, driver=driver,
-            stats=stats, flat_output=flat_output,
+            stats=stats, flat_output=flat_output, partitioning=partitioning,
         )
 
     def explain(self, query, **plan_kwargs):
@@ -242,7 +284,10 @@ class QuerySession:
         budget (a sequence aligned with ``queries``); otherwise
         ``max_intermediate_tuples`` applies to every query.  Failures
         and budget overruns are recorded in the reports — the batch
-        always completes.
+        always completes.  Each report carries the per-phase timing
+        shape benchmarks and service callers share: planning /
+        execution wall time plus :attr:`QueryReport.shards_used` and
+        :attr:`QueryReport.index_build_seconds` from the engine run.
         """
         queries = list(queries)
         if budgets is not None:
@@ -337,16 +382,28 @@ class PreparedStatement:
 
         Unchanged relations (and their already-built hash indexes) are
         shared from the template's catalog, so re-execution cost is
-        proportional to the parameterized tables only.
+        proportional to the parameterized tables only.  A re-filtered
+        relation the template holds hash-partitioned is re-clustered
+        into the same layout, so every binding — not just the first —
+        keeps the sharded fan-out.
         """
-        replacements = {
-            alias: filtered_table(
+        replacements = {}
+        for alias in self._dynamic_aliases:
+            table = filtered_table(
                 self.session.catalog.table(self.parsed.relations[alias]),
                 alias,
                 bound.selections.get(alias, {}),
             )
-            for alias in self._dynamic_aliases
-        }
+            current = self._template.catalog.table(alias)
+            if isinstance(current, PartitionedTable) and \
+                    PartitionedTable.can_shard(table.column(current.shard_key)):
+                # same shardability gate as partition_replacements: a
+                # binding admitting e.g. keys >= 2**53 falls back to
+                # the merged index instead of failing
+                table = PartitionedTable.from_table(
+                    table, current.shard_key, current.num_shards
+                )
+            replacements[alias] = table
         return self._template.catalog.derived_with(replacements)
 
     def invalidate(self):

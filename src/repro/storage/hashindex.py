@@ -87,18 +87,29 @@ class HashIndex:
     rows:
         Optional row-index array; if given, the index covers only those
         rows (used for semi-join-reduced relations).
+    row_offset:
+        Constant added to the reported row ids; lets a caller index a
+        contiguous slice ``keys[start:stop]`` (a view, no gather) while
+        reporting whole-table row ids — the per-shard build path of a
+        :class:`~repro.storage.partition.PartitionedTable`.  Mutually
+        exclusive with ``rows``.
     """
 
-    def __init__(self, keys, rows=None):
+    def __init__(self, keys, rows=None, row_offset=0):
         keys = np.asarray(keys)
         if rows is not None:
+            if row_offset:
+                raise ValueError("pass either rows or row_offset, not both")
             rows = np.asarray(rows, dtype=np.int64)
             keys = keys[rows]
         order = np.argsort(keys, kind="stable")
         sorted_keys = keys[order]
         if rows is not None:
             order = rows[order]
-        self._order = order.astype(np.int64, copy=False)
+        order = order.astype(np.int64, copy=False)
+        if row_offset:
+            order += row_offset
+        self._order = order
         if len(sorted_keys):
             unique_keys, starts, counts = np.unique(
                 sorted_keys, return_index=True, return_counts=True
@@ -145,6 +156,18 @@ class HashIndex:
         pos = np.searchsorted(self._unique_keys, keys)
         pos = np.minimum(pos, len(self._unique_keys) - 1)
         return self._unique_keys[pos] == keys
+
+    def probe_stats(self, keys):
+        """``(matched, total_matches)`` for a probe batch.
+
+        The scalar summary statistics derivation needs — how many probe
+        keys found a match, and how many matches in total — without
+        materializing the matching rows.  A
+        :class:`~repro.storage.partition.ShardedHashIndex` computes the
+        same pair by summing per-shard contributions.
+        """
+        result = self.lookup(keys)
+        return int(result.matched_mask.sum()), int(result.counts.sum())
 
     def rows_for_key(self, key):
         """All build-side row indices matching a single key."""

@@ -9,6 +9,7 @@ engine passes row-index arrays around instead of copying payloads.  The
 from __future__ import annotations
 
 import hashlib
+import weakref
 
 import numpy as np
 
@@ -46,6 +47,16 @@ class Table:
     def __len__(self):
         return self.num_rows
 
+    def _layout_descriptor(self):
+        """Physical-layout tag mixed into the fingerprint.
+
+        The base table has no layout beyond its row order (returns
+        ``b""``); :class:`~repro.storage.partition.PartitionedTable`
+        overrides this so two partitionings of identical content
+        fingerprint differently.
+        """
+        return b""
+
     def fingerprint(self):
         """A stable content digest of the table (hex string, cached).
 
@@ -67,6 +78,7 @@ class Table:
                 digest.update(payload)
 
             feed(self.name.encode())
+            feed(self._layout_descriptor())
             feed(str(self.num_rows).encode())
             for col_name in sorted(self.columns):
                 values = self.columns[col_name]
@@ -78,6 +90,42 @@ class Table:
                     feed(np.ascontiguousarray(values).tobytes())
             self._fingerprint = digest.hexdigest()
         return self._fingerprint
+
+    def invalidate_fingerprint(self):
+        """Drop the cached content digest (after an in-place mutation).
+
+        Called by :meth:`Catalog.invalidate_indexes`, the acknowledged
+        escape hatch for in-place column mutation, so every
+        fingerprint-keyed cache (stats, plans, partitioned catalogs)
+        misses instead of serving results for the old bytes.
+        """
+        self._fingerprint = None
+
+    def shares_data_with(self, other):
+        """True when mutating ``other``'s arrays in place corrupts us.
+
+        Identity, shared column arrays (the planner's push-down
+        wrappers), or — for
+        :class:`~repro.storage.partition.PartitionedTable`, which
+        overrides this — a re-clustered *copy* of ``other``'s data.
+        """
+        if self is other:
+            return True
+        other_arrays = {id(values) for values in other.columns.values()}
+        return any(id(values) in other_arrays
+                   for values in self.columns.values())
+
+    def refreshed(self, mutated=None):
+        """A replacement for this table after ``mutated``'s arrays
+        changed in place.
+
+        Plain tables hold the mutated arrays themselves, so they *are*
+        the refreshed version; a
+        :class:`~repro.storage.partition.PartitionedTable` re-clusters
+        — from its own columns when those are the mutated arrays, or
+        from its source when its columns are stale copies of it.
+        """
+        return self
 
     def __repr__(self):
         return f"Table({self.name!r}, rows={self.num_rows}, columns={list(self.columns)})"
@@ -110,6 +158,28 @@ class Table:
         names = columns if columns is not None else self.column_names
         return {name: self.columns[name][rows] for name in names}
 
+    def original_rows(self, rows):
+        """Map engine row ids back to base-table row ids.
+
+        The identity for an unpartitioned table;
+        :class:`~repro.storage.partition.PartitionedTable` (which
+        re-clusters rows into contiguous shards) overrides this with
+        its physical-to-base permutation.
+        """
+        return np.asarray(rows, dtype=np.int64)
+
+    def build_hash_index(self, attribute, rows=None):
+        """A hash index on ``attribute`` (optionally row-restricted).
+
+        The physical index type is the table's choice:
+        :class:`~repro.storage.partition.PartitionedTable` returns a
+        sharded index when ``attribute`` is its shard key.  The
+        :class:`Catalog` and the semi-join reduction both build through
+        this hook, which is what threads partition awareness into the
+        engine without the engine knowing about layouts.
+        """
+        return HashIndex(self.column(attribute), rows=rows)
+
 
 class Catalog:
     """A registry of tables with cached hash indexes.
@@ -127,12 +197,25 @@ class Catalog:
         self._version = 0
         self._fingerprint = None
         self._fingerprint_version = -1
+        #: live derivative catalogs (see :meth:`derived_with`); index
+        #: invalidation propagates to them for the tables they share
+        self._derived = weakref.WeakSet()
+        #: strong ref to the catalog this one was derived from — keeps
+        #: every intermediate of a derivation chain alive while a leaf
+        #: is, so parent invalidation can always walk down to us
+        self._parent = None
+        #: tables awaiting a lazy :meth:`Table.refreshed` after an
+        #: acknowledged in-place mutation ({name: [mutated tables]});
+        #: flushed on first access, so catalogs that are never touched
+        #: again (e.g. evicted plan caches) pay nothing
+        self._pending_refresh = {}
 
     def add(self, table):
         """Register a table (replacing any previous table of that name)."""
         if not isinstance(table, Table):
             raise TypeError(f"expected Table, got {type(table).__name__}")
         self._tables[table.name] = table
+        self._pending_refresh.pop(table.name, None)
         self._version += 1
         # Invalidate any cached indexes for the replaced table.
         self._indexes = {
@@ -144,7 +227,20 @@ class Catalog:
         """Convenience: build and register a Table from raw columns."""
         return self.add(Table(name, columns))
 
+    def _flush_refresh(self):
+        """Apply deferred post-mutation refreshes (see
+        :meth:`invalidate_indexes`)."""
+        if not self._pending_refresh:
+            return
+        pending, self._pending_refresh = self._pending_refresh, {}
+        for name, triggers in pending.items():
+            table = self._tables[name]
+            for trigger in triggers:
+                table = table.refreshed(trigger)
+            self._tables[name] = table
+
     def table(self, name):
+        self._flush_refresh()
         try:
             return self._tables[name]
         except KeyError:
@@ -174,6 +270,7 @@ class Catalog:
         per table.  Statistics and plan caches key on this value to
         invalidate automatically when the data changes.
         """
+        self._flush_refresh()
         if self._fingerprint_version != self._version:
             digest = hashlib.blake2b(digest_size=16)
             for name in sorted(self._tables):
@@ -187,12 +284,18 @@ class Catalog:
         return self._fingerprint
 
     def hash_index(self, table_name, attribute):
-        """Return (building if necessary) the hash index on an attribute."""
+        """Return (building if necessary) the hash index on an attribute.
+
+        The index type is delegated to
+        :meth:`Table.build_hash_index`, so a
+        :class:`~repro.storage.partition.PartitionedTable` transparently
+        serves a sharded index on its shard key and a merged view on
+        every other attribute.
+        """
         key = (table_name, attribute)
         index = self._indexes.get(key)
         if index is None:
-            table = self.table(table_name)
-            index = HashIndex(table.column(attribute))
+            index = self.table(table_name).build_hash_index(attribute)
             self._indexes[key] = index
         return index
 
@@ -206,7 +309,15 @@ class Catalog:
         rebuilt lazily.  Used by prepared statements to re-bind
         selection constants without re-deriving the unchanged
         relations.
+
+        The derivative stays registered with its parent:
+        :meth:`invalidate_indexes` on the parent also drops the
+        derivative's cached indexes for every table the two still
+        share, so an in-place data change acknowledged on the parent
+        can never leave a derived catalog serving a stale index over
+        the shared arrays.
         """
+        self._flush_refresh()
         derived = Catalog()
         derived._tables = dict(self._tables)
         derived._version = 1
@@ -217,15 +328,104 @@ class Catalog:
         }
         for table in replacements.values():
             derived.add(table)
+        self.register_derived(derived)
+        return derived
+
+    def register_derived(self, derived):
+        """Subscribe a catalog built over (some of) our tables or arrays
+        to index-invalidation propagation.
+
+        :meth:`derived_with` registers automatically; the planner's
+        push-down catalogs (fresh alias-named tables that may *share
+        column arrays* with ours) register through this so the
+        in-place-mutation escape hatch reaches them too.
+        """
+        derived._parent = self
+        self._derived.add(derived)
         return derived
 
     def invalidate_indexes(self, table_name=None):
-        """Drop cached indexes (all, or for one table)."""
+        """Drop cached indexes (all, or for one table).
+
+        This is the escape hatch for callers that mutate a table's
+        arrays in place (tables are only immutable *by convention*).
+        It also drops the affected tables' cached content fingerprints
+        and bumps the catalog version, so every fingerprint-keyed cache
+        (statistics, plans, re-clustered partitioned catalogs) misses
+        instead of serving results derived from the old bytes.  The
+        drop propagates to catalogs derived from this one — but only
+        for tables they still share with us; a derivative whose table
+        was replaced keeps its own consistent index.
+        """
         if table_name is None:
             self._indexes.clear()
+            affected = list(self._tables)
         else:
             self._indexes = {
                 key: idx
                 for key, idx in self._indexes.items()
                 if key[0] != table_name
             }
+            affected = [table_name] if table_name in self._tables else []
+        origins = []
+        for name in affected:
+            table = self._tables[name]
+            table.invalidate_fingerprint()
+            # a directly-held partitioned table's shard layout is now
+            # inconsistent with its (own, mutated) key column; refresh
+            # re-clusters it lazily on next access
+            self._pending_refresh.setdefault(name, []).append(table)
+            origins.append(table)
+        self._version += 1
+        for derived in tuple(self._derived):
+            derived._invalidate_shared(self._tables, table_name, origins)
+
+    def _invalidate_shared(self, parent_tables, table_name, origins):
+        """Drop indexes for tables sharing data with a mutated parent.
+
+        ``parent_tables`` establishes *connectivity* (we are stale if
+        we share data with the parent's affected table, directly or
+        through a copy), but the refresh trigger recorded is always one
+        of ``origins`` — the tables whose arrays were actually mutated.
+        Deep derivations would otherwise receive a stale intermediate
+        copy as the "mutated" table and re-cluster from the wrong side.
+        Stale tables are scheduled for a lazy :meth:`Table.refreshed`
+        on this catalog's next access — so a held plan pinning this
+        catalog reads current data on its next run, while catalogs
+        never touched again pay nothing.
+        """
+        if table_name is None:
+            mutated = list(parent_tables.values())
+        elif table_name in parent_tables:
+            mutated = [parent_tables[table_name]]
+        else:
+            mutated = []
+        stale = set()
+        for name, table in self._tables.items():
+            if any(table.shares_data_with(parent) for parent in mutated):
+                stale.add(name)
+        if not stale:
+            return
+        self._indexes = {
+            key: idx for key, idx in self._indexes.items()
+            if key[0] not in stale
+        }
+        for name in stale:
+            table = self._tables[name]
+            # array-sharing wrappers cache their own digest of the
+            # shared (now mutated) bytes
+            table.invalidate_fingerprint()
+            # the origin whose arrays this table holds directly, if
+            # any — Table-level check, so a partitioned *copy* of an
+            # origin correctly refreshes from its source instead
+            trigger = next(
+                (origin for origin in origins
+                 if Table.shares_data_with(table, origin)),
+                origins[0] if origins else None,
+            )
+            self._pending_refresh.setdefault(name, []).append(trigger)
+        # bump our version so the cached catalog digest recomputes
+        self._version += 1
+        for derived in tuple(self._derived):
+            for name in stale:
+                derived._invalidate_shared(self._tables, name, origins)

@@ -10,6 +10,12 @@ from .large_joins import (
     scaling_suite,
     star_query,
 )
+from .partitioned import (
+    probe_batch,
+    scan_build_table,
+    scan_probe_catalog,
+    scan_probe_query,
+)
 from .random_trees import (
     DEFAULT_FANOUT_RANGE,
     MATCH_PROBABILITY_RANGES,
@@ -55,10 +61,14 @@ __all__ = [
     "paper_snowflake_5_1",
     "paper_star7",
     "path",
+    "probe_batch",
     "random_join_tree",
     "random_stats",
     "random_tree_query",
     "scaling_suite",
+    "scan_build_table",
+    "scan_probe_catalog",
+    "scan_probe_query",
     "snowflake",
     "specs_from_ranges",
     "star",

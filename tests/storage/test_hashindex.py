@@ -95,3 +95,77 @@ def test_lookup_against_dict_reference():
         got = rows[offset:offset + count].tolist()
         assert sorted(got) == sorted(expected)
         offset += count
+
+
+# ----------------------------------------------------------------------
+# Edge cases: empty probe batches, all-miss lookups, empty indexes —
+# every path must return a well-formed (typed, zero-length) result
+# ----------------------------------------------------------------------
+
+
+def test_lookup_empty_key_array_is_well_formed():
+    index = HashIndex([3, 1, 3])
+    for empty in (np.empty(0, dtype=np.int64), np.asarray([]), []):
+        result = index.lookup(empty)
+        assert len(result) == 0
+        assert result.counts.dtype == np.int64
+        assert result.counts.tolist() == []
+        assert result.matched_mask.tolist() == []
+        assert result.total_matches() == 0
+        rows = result.matching_rows()
+        assert rows.dtype == np.int64 and rows.tolist() == []
+
+
+def test_lookup_all_misses_is_well_formed():
+    index = HashIndex([3, 1, 3])
+    result = index.lookup([100, -7, 2])
+    assert result.counts.tolist() == [0, 0, 0]
+    assert result.matched_mask.tolist() == [False, False, False]
+    rows = result.matching_rows()
+    assert rows.dtype == np.int64 and rows.tolist() == []
+
+
+def test_empty_index_lookup_and_contains():
+    index = HashIndex(np.empty(0, dtype=np.int64))
+    assert len(index) == 0 and index.num_distinct == 0
+    result = index.lookup([1, 2])
+    assert result.counts.dtype == np.int64
+    assert result.counts.tolist() == [0, 0]
+    assert result.matching_rows().tolist() == []
+    assert index.contains([1, 2]).tolist() == [False, False]
+    assert index.rows_for_key(1).tolist() == []
+    # empty index probed with an empty batch
+    empty_probe = index.lookup(np.empty(0, dtype=np.int64))
+    assert len(empty_probe) == 0
+    assert empty_probe.matching_rows().tolist() == []
+
+
+def test_row_restricted_index_with_empty_rows():
+    index = HashIndex([5, 6, 7], rows=np.empty(0, dtype=np.int64))
+    assert len(index) == 0
+    assert index.lookup([5]).counts.tolist() == [0]
+    assert index.contains([6]).tolist() == [False]
+
+
+def test_concat_ranges_zero_length_runs_between_real_ones():
+    out = concat_ranges([0, 100, 10], [2, 0, 3])
+    assert out.dtype == np.int64
+    assert out.tolist() == [0, 1, 10, 11, 12]
+
+
+def test_concat_ranges_empty_inputs_return_int64():
+    for starts, lengths in (([], []), (np.asarray([]), np.asarray([]))):
+        out = concat_ranges(starts, lengths)
+        assert out.dtype == np.int64 and out.tolist() == []
+
+
+def test_probe_stats_matches_lookup():
+    rng = np.random.default_rng(2)
+    keys = rng.integers(0, 12, 80)
+    probes = rng.integers(-3, 15, 60)
+    index = HashIndex(keys)
+    result = index.lookup(probes)
+    assert index.probe_stats(probes) == (
+        int(result.matched_mask.sum()), int(result.counts.sum())
+    )
+    assert index.probe_stats([]) == (0, 0)

@@ -91,3 +91,66 @@ def test_invalidate_indexes_scoped():
     assert catalog.hash_index("u", "a") is idx_u
     catalog.invalidate_indexes()
     assert catalog.hash_index("u", "a") is not idx_u
+
+
+# ----------------------------------------------------------------------
+# Derived catalogs and index invalidation (regression: a derivative
+# must never serve a stale index over arrays it shares with its parent)
+# ----------------------------------------------------------------------
+
+
+def test_derived_catalog_snapshot_survives_parent_replacement():
+    parent = Catalog()
+    parent.add_table("t", {"a": [1, 2, 2]})
+    parent.add_table("u", {"a": [9]})
+    old_index = parent.hash_index("t", "a")
+    derived = parent.derived_with({"u": Table("u", {"a": [7]})})
+    # Replacing t in the parent must not corrupt the derivative: its
+    # snapshot keeps the old table, and its index stays consistent
+    # with that snapshot.
+    parent.add_table("t", {"a": [5]})
+    assert derived.table("t").column("a").tolist() == [1, 2, 2]
+    assert derived.hash_index("t", "a") is old_index
+    assert sorted(derived.hash_index("t", "a").rows_for_key(2).tolist()) == [1, 2]
+    # while the parent itself rebuilt
+    assert parent.hash_index("t", "a") is not old_index
+
+
+def test_parent_invalidation_reaches_derived_catalog():
+    parent = Catalog()
+    parent.add_table("t", {"a": [1, 2, 2]})
+    parent.add_table("u", {"a": [9]})
+    derived = parent.derived_with({"u": Table("u", {"a": [7]})})
+    stale = derived.hash_index("t", "a")
+    assert stale.rows_for_key(1).tolist() == [0]
+    # In-place mutation of the shared arrays, acknowledged on the
+    # parent only — the derivative shares those arrays, so its cached
+    # index must be dropped too.
+    parent.table("t").column("a")[0] = 2
+    parent.invalidate_indexes("t")
+    rebuilt = derived.hash_index("t", "a")
+    assert rebuilt is not stale
+    assert sorted(rebuilt.rows_for_key(2).tolist()) == [0, 1, 2]
+
+
+def test_parent_invalidation_spares_replaced_tables_in_derived():
+    parent = Catalog()
+    parent.add_table("t", {"a": [1, 2]})
+    derived = parent.derived_with({"t": Table("t", {"a": [5, 5]})})
+    own_index = derived.hash_index("t", "a")
+    parent.invalidate_indexes("t")
+    # the derivative's t is its own replacement, not shared: keep it
+    assert derived.hash_index("t", "a") is own_index
+
+
+def test_full_invalidation_propagates_through_derivation_chain():
+    parent = Catalog()
+    parent.add_table("t", {"a": [1, 1]})
+    middle = parent.derived_with({})
+    leaf = middle.derived_with({})
+    stale = leaf.hash_index("t", "a")
+    parent.table("t").column("a")[:] = [3, 4]
+    parent.invalidate_indexes()
+    rebuilt = leaf.hash_index("t", "a")
+    assert rebuilt is not stale
+    assert rebuilt.num_distinct == 2
