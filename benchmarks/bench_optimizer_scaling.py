@@ -30,8 +30,10 @@ from repro.core import (
     exhaustive_optimal,
     idp_order,
 )
+from repro.planner import Planner
 from repro.workloads.large_joins import (
     chain_query,
+    large_join_catalog,
     large_query_stats,
     random_tree_query,
     star_query,
@@ -141,6 +143,75 @@ def timing_section(shapes, sizes, seeds):
     return rows
 
 
+#: data-backed driver-search timing (planner level, real catalogs)
+DRIVER_AUTO_SIZES = (24, 40)
+SMOKE_DRIVER_AUTO_SIZES = (16,)
+DRIVER_AUTO_SHAPES = ("chain", "random_tree")
+
+
+def driver_auto_section(shapes, sizes, seeds):
+    """``driver="auto"`` planning wall time: pruned search vs the naive
+    once-per-rooting sweep.
+
+    The pruned path is one ``Planner.plan(driver="auto")`` call (shared
+    directed stats, greedy proxy ranking, incumbent branch-and-bound);
+    the baseline reproduces the pre-PR-4 semantics — a fixed-driver
+    plan per rooting on a fresh planner, keep the cheapest.  Both must
+    agree on the winning cost (asserted), so the recorded speedup is
+    pure search efficiency.
+    """
+    rows = []
+    for shape in shapes:
+        for n in sizes:
+            pruned_ms, baseline_ms = [], []
+            for seed in seeds:
+                query = build_query(shape, n, seed)
+                catalog = large_join_catalog(
+                    query, rows_per_relation=256, seed=seed
+                )
+                planner = Planner(catalog, stats_cache=True)
+                auto, ms = timed(lambda: planner.plan(
+                    query, mode="COM", driver="auto", optimizer="auto"
+                ))
+                pruned_ms.append(ms)
+
+                def naive_sweep():
+                    best = None
+                    for root in query.relations:
+                        plan = Planner(catalog).plan(
+                            query.rerooted(root), mode="COM",
+                            driver="fixed", optimizer="auto",
+                        )
+                        if best is None or \
+                                plan.predicted_cost < best.predicted_cost:
+                            best = plan
+                    return best
+
+                naive, ms = timed(naive_sweep)
+                baseline_ms.append(ms)
+                # same winner, or the search is broken
+                assert auto.predicted_cost <= naive.predicted_cost * (
+                    1.0 + 1e-9
+                ), (shape, n, seed, auto.predicted_cost,
+                    naive.predicted_cost)
+            row = {
+                "shape": shape,
+                "num_relations": n,
+                "driver_auto_ms_median": round(
+                    statistics.median(pruned_ms), 3
+                ),
+                "per_rooting_sweep_ms_median": round(
+                    statistics.median(baseline_ms), 3
+                ),
+            }
+            row["speedup"] = round(
+                row["per_rooting_sweep_ms_median"]
+                / max(row["driver_auto_ms_median"], 1e-9), 2
+            )
+            rows.append(row)
+    return rows
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -158,10 +229,16 @@ def main(argv=None):
     if args.smoke:
         quality = quality_section(SMOKE_SHAPES, seeds)
         timing = timing_section(SMOKE_SHAPES, SMOKE_TIMING_SIZES, seeds)
+        driver_auto = driver_auto_section(
+            ("random_tree",), SMOKE_DRIVER_AUTO_SIZES, seeds
+        )
     else:
         shapes = ("chain", "star", "random_tree")
         quality = quality_section(shapes, seeds)
         timing = timing_section(shapes, TIMING_SIZES, seeds)
+        driver_auto = driver_auto_section(
+            DRIVER_AUTO_SHAPES, DRIVER_AUTO_SIZES, seeds
+        )
 
     record = {
         "benchmark": "optimizer_scaling",
@@ -173,6 +250,7 @@ def main(argv=None):
         },
         "quality_vs_exhaustive": quality,
         "optimization_time": timing,
+        "driver_auto": driver_auto,
         "total_seconds": round(time.perf_counter() - start, 2),
     }
 
@@ -191,6 +269,11 @@ def main(argv=None):
     for row in timing:
         assert row["idp_ms_median"] < 1_000, row
         assert row["beam_ms_median"] < 1_000, row
+    for row in driver_auto:
+        # the pruned search must never be materially slower than the
+        # naive sweep it replaces (equal cost is asserted per seed)
+        assert row["driver_auto_ms_median"] <= \
+            row["per_rooting_sweep_ms_median"] * 1.2, row
     return record
 
 

@@ -49,8 +49,9 @@ from .engine import (
     execute,
 )
 from .modes import ExecutionMode
-from .planner import PhysicalPlan, Planner
+from .planner import PhysicalPlan, PlanSpec, Planner
 from .service import (
+    AsyncQueryService,
     PlanCache,
     PreparedStatement,
     QueryReport,
@@ -69,6 +70,7 @@ from .storage import (
 __version__ = "1.1.0"
 
 __all__ = [
+    "AsyncQueryService",
     "BudgetExceededError",
     "Catalog",
     "Contradiction",
@@ -85,6 +87,7 @@ __all__ = [
     "PhysicalPlan",
     "PlanCache",
     "PlanCost",
+    "PlanSpec",
     "Planner",
     "PreparedStatement",
     "QueryReport",

@@ -1,0 +1,265 @@
+"""Adaptive optimizer knobs derived from measured scaling data.
+
+``benchmarks/bench_optimizer_scaling.py`` records, per query shape and
+relation count, the wall time of the exhaustive DP, the IDP block DP
+and beam search, plus plan-quality ratios.  This module turns that
+record (``benchmarks/results/BENCH_optimizer_scaling.json``) into
+planner defaults, replacing the static crossover constants:
+
+* :func:`crossover_relations` — the relation counts where the
+  ``optimizer="auto"`` ladder should step from exhaustive to IDP and
+  from IDP to beam, given a planning-time budget;
+* :func:`adaptive_block_size` / :func:`adaptive_beam_width` — the
+  ``idp_block_size`` / ``beam_width`` values implied by those
+  crossovers (``"auto"`` knob values on :class:`~repro.planner.Planner`
+  resolve through these).
+
+Wall times beyond the measured grid are extrapolated with a
+least-squares fit of ``log2(ms)`` against the relation count on the
+*worst* measured shape (stars for the exponential DP), so the derived
+limits stay conservative.  Everything degrades gracefully: with no
+benchmark record on disk the static defaults apply unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "DEFAULT_INTERACTIVE_BUDGET_MS",
+    "ScalingProfile",
+    "adaptive_beam_width",
+    "adaptive_block_size",
+    "crossover_relations",
+    "load_scaling_profile",
+    "profile_from_record",
+]
+
+#: the planning latency an interactive service targets per query when no
+#: explicit ``planning_budget_ms`` is configured — knob derivation uses
+#: it as the implied budget
+DEFAULT_INTERACTIVE_BUDGET_MS = 250.0
+
+#: static fallbacks (mirror repro.core.optimizer's AUTO_* constants and
+#: the planner's historical knob defaults)
+_STATIC_EXHAUSTIVE_MAX = 12
+_STATIC_IDP_MAX = 40
+_STATIC_BLOCK_SIZE = 8
+_STATIC_BEAM_WIDTH = 8
+
+#: hard clamps so a degenerate record can never produce absurd knobs
+_BLOCK_SIZE_RANGE = (4, 14)
+_BEAM_WIDTH_RANGE = (2, 64)
+_RELATION_LIMIT_RANGE = (6, 512)
+
+_DEFAULT_RESULTS_PATH = (
+    Path(__file__).resolve().parents[3]
+    / "benchmarks" / "results" / "BENCH_optimizer_scaling.json"
+)
+
+#: (path, mtime) -> ScalingProfile; the record changes at most once per
+#: benchmark run, so planner construction stays O(1) after the first load
+_profile_cache = {}
+
+
+@dataclass(frozen=True)
+class ScalingProfile:
+    """Per-shape optimization wall times per relation count.
+
+    ``exhaustive_ms`` / ``idp_ms`` / ``beam_ms`` map a query shape to
+    ``{relation count: median ms}``.  Shapes are kept separate because
+    their growth laws differ fundamentally — the exhaustive DP is
+    polynomial on chains but ``O(n 2^n)`` on stars, so the crossover
+    derivation fits each shape independently and takes the *most
+    constraining* shape (a limit must be safe for the worst query that
+    can arrive).  ``measured_block_size`` / ``measured_beam_width`` are
+    the knob values the record was measured with (times scale roughly
+    linearly in both, which the knob derivation exploits).
+    """
+
+    exhaustive_ms: dict
+    idp_ms: dict
+    beam_ms: dict
+    measured_block_size: int = _STATIC_BLOCK_SIZE
+    measured_beam_width: int = _STATIC_BEAM_WIDTH
+
+
+def profile_from_record(record):
+    """Build a :class:`ScalingProfile` from a benchmark JSON record.
+
+    Returns ``None`` for records with no usable timing rows (so callers
+    fall back to the static defaults uniformly).
+    """
+    exhaustive, idp, beam = {}, {}, {}
+
+    def _keep(table, shape, n, ms):
+        if ms is None:
+            return
+        series = table.setdefault(shape, {})
+        ms = float(ms)
+        if n not in series or ms > series[n]:
+            series[n] = ms
+
+    for row in record.get("quality_vs_exhaustive", []):
+        _keep(exhaustive, row.get("shape", "all"), int(row["num_relations"]),
+              row.get("exhaustive_ms_median"))
+    for row in record.get("optimization_time", []):
+        shape = row.get("shape", "all")
+        n = int(row["num_relations"])
+        _keep(exhaustive, shape, n, row.get("exhaustive_ms_median"))
+        _keep(idp, shape, n, row.get("idp_ms_median"))
+        _keep(beam, shape, n, row.get("beam_ms_median"))
+    if not (exhaustive or idp or beam):
+        return None
+    knobs = record.get("knobs", {})
+    return ScalingProfile(
+        exhaustive_ms=exhaustive,
+        idp_ms=idp,
+        beam_ms=beam,
+        measured_block_size=int(knobs.get("block_size", _STATIC_BLOCK_SIZE)),
+        measured_beam_width=int(knobs.get("beam_width", _STATIC_BEAM_WIDTH)),
+    )
+
+
+def load_scaling_profile(path=None):
+    """The measured scaling profile, or ``None`` when unavailable.
+
+    Reads ``benchmarks/results/BENCH_optimizer_scaling.json`` (or
+    ``path``), memoized on the file's mtime; any parse problem returns
+    ``None`` — adaptive resolution must never make planning fail.
+    """
+    path = Path(path) if path is not None else _DEFAULT_RESULTS_PATH
+    try:
+        mtime = os.path.getmtime(path)
+    except OSError:
+        return None
+    key = (str(path), mtime)
+    if key not in _profile_cache:
+        try:
+            record = json.loads(path.read_text())
+            _profile_cache.clear()  # at most one live record per path
+            _profile_cache[key] = profile_from_record(record)
+        except (OSError, ValueError):
+            return None
+    return _profile_cache[key]
+
+
+def _shape_max_within(series, budget_ms):
+    """Largest relation count whose predicted time fits ``budget_ms``,
+    for one shape's ``{n: ms}`` series.
+
+    Fits ``log2(ms) = a + b * n`` by least squares over the measured
+    points and inverts at the budget, which extrapolates exponential
+    growth (the DP on stars) soundly and near-linear growth
+    conservatively.  Already-measured points are ground truth: a count
+    measured under budget is admissible even when the fit disagrees.
+    Returns ``None`` when the series is empty (no data is no
+    constraint); ``0`` means this shape affords *nothing* at the budget
+    — a hard constraint the caller's clamp raises to the floor.
+    """
+    points = [(n, ms) for n, ms in sorted(series.items()) if ms > 0]
+    if not points:
+        return None
+    measured_ok = max((n for n, ms in points if ms <= budget_ms), default=0)
+    if len(points) == 1:
+        return measured_ok
+    xs = [n for n, _ in points]
+    ys = [math.log2(ms) for _, ms in points]
+    mean_x = sum(xs) / len(xs)
+    mean_y = sum(ys) / len(ys)
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    slope = (
+        sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)) / var_x
+        if var_x else 0.0
+    )
+    if slope <= 0:  # flat/degenerate growth: measurements are the answer
+        return measured_ok
+    intercept = mean_y - slope * mean_x
+    fitted = int((math.log2(budget_ms) - intercept) / slope)
+    return max(measured_ok, fitted, 0)
+
+
+def _max_relations_within(series_by_shape, budget_ms):
+    """The most constraining shape's limit (``None`` when no data).
+
+    A relation-count limit must hold for the worst query shape that can
+    arrive, so each shape's series is fitted independently and the
+    minimum wins — mixing shapes into one fit would let a polynomial
+    shape (chains) mask an exponential one (stars).
+    """
+    limits = [
+        limit
+        for series in series_by_shape.values()
+        if (limit := _shape_max_within(series, budget_ms)) is not None
+    ]
+    return min(limits, default=None)
+
+
+def _clamp(value, bounds):
+    low, high = bounds
+    return max(low, min(high, value))
+
+
+def crossover_relations(profile, budget_ms=None):
+    """``(exhaustive_max, idp_max)`` for a planning budget.
+
+    The ladder runs each query's order search ``drivers * modes`` times
+    in the worst case, so the per-search share is taken as budget / 4
+    (mode="auto" prices four DP-costable strategies); the returned
+    limits are where the measured (or extrapolated) per-search time
+    crosses that share.
+    """
+    if profile is None:
+        return _STATIC_EXHAUSTIVE_MAX, _STATIC_IDP_MAX
+    budget_ms = budget_ms or DEFAULT_INTERACTIVE_BUDGET_MS
+    per_search_ms = budget_ms / 4.0
+    exhaustive_max = _max_relations_within(profile.exhaustive_ms,
+                                           per_search_ms)
+    idp_max = _max_relations_within(profile.idp_ms, per_search_ms)
+    if exhaustive_max is None:
+        exhaustive_max = _STATIC_EXHAUSTIVE_MAX
+    if idp_max is None:
+        idp_max = _STATIC_IDP_MAX
+    exhaustive_max = _clamp(exhaustive_max, _RELATION_LIMIT_RANGE)
+    idp_max = _clamp(idp_max, _RELATION_LIMIT_RANGE)
+    return exhaustive_max, max(idp_max, exhaustive_max)
+
+
+def adaptive_block_size(profile, budget_ms=None):
+    """``idp_block_size`` implied by the exhaustive-DP crossover.
+
+    IDP solves each block *exactly* with the Algorithm 1 recurrence, so
+    the largest affordable block is exactly the largest query the
+    exhaustive DP itself stays within budget for (worst shape) — that
+    is the crossover point, clamped to sane bounds.
+    """
+    if profile is None:
+        return _STATIC_BLOCK_SIZE
+    exhaustive_max, _ = crossover_relations(profile, budget_ms)
+    return _clamp(exhaustive_max, _BLOCK_SIZE_RANGE)
+
+
+def adaptive_beam_width(profile, budget_ms=None):
+    """``beam_width`` that spends the budget at the largest measured n.
+
+    Beam time is linear in the width, so the measured width scales by
+    the headroom between the worst measured beam time and the
+    per-search budget share; clamped to keep quality sane when the
+    budget is huge and progress possible when it is tiny.
+    """
+    if profile is None:
+        return _STATIC_BEAM_WIDTH
+    budget_ms = budget_ms or DEFAULT_INTERACTIVE_BUDGET_MS
+    per_search_ms = budget_ms / 4.0
+    worst_ms = max(
+        (ms for series in profile.beam_ms.values() for ms in series.values()),
+        default=0.0,
+    )
+    if not worst_ms:
+        return _STATIC_BEAM_WIDTH
+    scaled = int(profile.measured_beam_width * per_search_ms / worst_ms)
+    return _clamp(scaled, _BEAM_WIDTH_RANGE)

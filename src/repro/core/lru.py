@@ -145,6 +145,20 @@ class LRUCache:
             self.stats.invalidations += len(self._entries)
             self._entries.clear()
 
+    def __getstate__(self):
+        """Pickle as an *empty* cache of the same capacity.
+
+        Locks, in-flight events and cached values never cross process
+        boundaries: a cache shipped to a planning worker (see
+        :mod:`repro.service.async_service`) re-derives entries on demand
+        from the content-addressed keys, which is both correct and far
+        cheaper than serializing plans or partitioned catalogs.
+        """
+        return {"capacity": self.capacity}
+
+    def __setstate__(self, state):
+        self.__init__(state["capacity"])
+
     def keys(self):
         with self._lock:
             return list(self._entries)

@@ -38,6 +38,7 @@ costing for arbitrary orders.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from ..modes import ExecutionMode
@@ -52,6 +53,7 @@ from .costmodel_sj import reduction_ratios, sj_phase2_fanouts
 
 __all__ = [
     "OptimizedPlan",
+    "PlanningBudgetExceeded",
     "exhaustive_optimal",
     "idp_order",
     "beam_order",
@@ -64,6 +66,24 @@ __all__ = [
     "AUTO_EXHAUSTIVE_MAX_RELATIONS",
     "AUTO_IDP_MAX_RELATIONS",
 ]
+
+
+class PlanningBudgetExceeded(RuntimeError):
+    """An order search overran its planning-time deadline.
+
+    Raised by :func:`exhaustive_optimal` and :func:`idp_order` when a
+    ``deadline`` (a ``time.perf_counter()`` timestamp) passes mid-search.
+    The planner catches it and falls down the optimizer ladder
+    (exhaustive -> IDP -> beam); :func:`beam_order` is the floor of the
+    ladder and never checks a deadline.
+    """
+
+    def __init__(self, algorithm):
+        super().__init__(
+            f"{algorithm}: planning budget exceeded before the order "
+            f"search completed"
+        )
+        self.algorithm = algorithm
 
 
 @dataclass
@@ -260,7 +280,8 @@ def _memo_from(memoize, query):
 
 
 def exhaustive_optimal(query, stats, mode=ExecutionMode.COM, eps=0.01,
-                       weights=CostWeights(), memoize=True):
+                       weights=CostWeights(), memoize=True,
+                       upper_bound=None, deadline=None):
     """Algorithm 1: optimal join order for a fixed driver.
 
     Dynamic programming over connected subsets of the join tree that
@@ -277,6 +298,14 @@ def exhaustive_optimal(query, stats, mode=ExecutionMode.COM, eps=0.01,
     and returns bit-identical orders and costs.  Passing an existing
     :class:`CostMemo` (valid for this (query, stats, eps)) reuses its
     tables across optimizer invocations.
+
+    ``upper_bound`` prunes DP states whose accumulated cost already
+    reaches it (see :func:`_exact_block_order`); the return is ``None``
+    when no order under the bound exists — used by the planner's
+    ``driver="auto"`` search to discard candidate rootings against the
+    incumbent without finishing their DP.  ``deadline`` aborts with
+    :class:`PlanningBudgetExceeded` (the planner then falls back to a
+    cheaper algorithm).
     """
     mode = ExecutionMode(mode)
     if mode.uses_semijoin:
@@ -286,8 +315,11 @@ def exhaustive_optimal(query, stats, mode=ExecutionMode.COM, eps=0.01,
     # One shared implementation of the Algorithm 1 recurrence: the
     # exhaustive DP is the block DP with everything in a single block.
     total_cost, order = _exact_block_order(
-        query, stats, [], query.non_root_relations, mode, eps, weights, memo
+        query, stats, [], query.non_root_relations, mode, eps, weights, memo,
+        upper_bound=upper_bound, deadline=deadline, algorithm="exhaustive",
     )
+    if order is None:
+        return None
     return OptimizedPlan(query=query, order=order, cost=total_cost, mode=mode)
 
 
@@ -373,7 +405,8 @@ def _greedy_block(query, stats, order, block_size, mode, eps, weights, memo):
 
 
 def _exact_block_order(query, stats, committed_order, block, mode, eps,
-                       weights, memo):
+                       weights, memo, upper_bound=None, deadline=None,
+                       algorithm="exhaustive"):
     """Optimal order of ``block`` appended after ``committed_order``.
 
     The one implementation of the Algorithm 1 connected-prefix DP,
@@ -382,6 +415,21 @@ def _exact_block_order(query, stats, committed_order, block, mode, eps,
     blocks — which is why ``idp_order(block_size >= n)`` is
     bit-identical to the exhaustive DP by construction.  Returns
     ``(cost_delta, block_order)`` relative to the committed prefix.
+
+    ``upper_bound`` enables branch-and-bound pruning: delta costs are
+    non-negative, so a prefix whose accumulated cost already reaches
+    the bound can never complete into an order cheaper than it — such
+    states are dropped.  When *every* completion is pruned the return
+    is ``(None, None)``: the caller's incumbent plan is at least as
+    cheap as anything this search could find.  Pruning never changes a
+    returned result (a sub-bound optimum's own prefixes all cost less
+    than it, so its DP path always survives) — it only turns
+    guaranteed-losing searches into early exits.
+
+    ``deadline`` (a ``time.perf_counter()`` timestamp) aborts the
+    search with :class:`PlanningBudgetExceeded` once passed; checked
+    per expanded prefix, so the overrun is bounded by one frontier
+    expansion.
     """
     block_set = frozenset(block)
     base = frozenset([query.root]) | frozenset(committed_order)
@@ -391,6 +439,8 @@ def _exact_block_order(query, stats, committed_order, block, mode, eps,
     while frontier_sets:
         next_level = {}
         for prefix_set in frontier_sets:
+            if deadline is not None and time.perf_counter() > deadline:
+                raise PlanningBudgetExceeded(algorithm)
             prefix_cost, prefix_order = best[prefix_set]
             joined = set(prefix_set)
             for relation in query.eligible_next(prefix_order):
@@ -399,19 +449,24 @@ def _exact_block_order(query, stats, committed_order, block, mode, eps,
                 delta = _delta_cost(
                     query, stats, joined, relation, mode, eps, weights, memo
                 )
-                new_set = prefix_set | {relation}
                 new_cost = prefix_cost + delta
+                if upper_bound is not None and new_cost >= upper_bound:
+                    continue  # cannot beat the incumbent: deltas are >= 0
+                new_set = prefix_set | {relation}
                 incumbent = next_level.get(new_set)
                 if incumbent is None or new_cost < incumbent[0]:
                     next_level[new_set] = (new_cost, prefix_order + [relation])
         best.update(next_level)
         frontier_sets = list(next_level)
+    if target not in best:
+        return None, None  # pruned out: nothing under the bound
     cost, order = best[target]
     return cost, order[len(committed_order):]
 
 
 def idp_order(query, stats, mode=ExecutionMode.COM, eps=0.01,
-              weights=CostWeights(), block_size=8, memoize=True):
+              weights=CostWeights(), block_size=8, memoize=True,
+              upper_bound=None, deadline=None):
     """IDP-style blockwise dynamic program (exhaustive-DP fallback).
 
     Repeatedly (1) grows a block of up to ``block_size`` frontier
@@ -425,6 +480,12 @@ def idp_order(query, stats, mode=ExecutionMode.COM, eps=0.01,
     With ``block_size >= len(query.non_root_relations)`` a single block
     covers the whole query and the result is bit-identical to
     :func:`exhaustive_optimal` (same order, same cost float).
+
+    ``upper_bound`` / ``deadline`` behave as in
+    :func:`exhaustive_optimal`: a bounded search returns ``None`` when
+    no completion can beat the bound (committed cost plus the current
+    block's floor already reaches it), a deadline overrun raises
+    :class:`PlanningBudgetExceeded`.
     """
     mode = ExecutionMode(mode)
     if mode.uses_semijoin:
@@ -439,16 +500,23 @@ def idp_order(query, stats, mode=ExecutionMode.COM, eps=0.01,
     while len(order) < total:
         block = _greedy_block(query, stats, order, block_size, mode, eps,
                               weights, memo)
-        block_cost, block_order = _exact_block_order(
-            query, stats, order, block, mode, eps, weights, memo
+        remaining_bound = (
+            None if upper_bound is None else upper_bound - cost
         )
+        block_cost, block_order = _exact_block_order(
+            query, stats, order, block, mode, eps, weights, memo,
+            upper_bound=remaining_bound, deadline=deadline, algorithm="idp",
+        )
+        if block_order is None:
+            return None  # every completion already costs >= upper_bound
         cost += block_cost
         order.extend(block_order)
     return OptimizedPlan(query=query, order=order, cost=cost, mode=mode)
 
 
 def beam_order(query, stats, mode=ExecutionMode.COM, eps=0.01,
-               weights=CostWeights(), beam_width=8, memoize=True):
+               weights=CostWeights(), beam_width=8, memoize=True,
+               upper_bound=None):
     """Beam search over connected prefixes, for very large queries.
 
     Keeps the ``beam_width`` cheapest prefixes per length (deduplicated
@@ -458,6 +526,15 @@ def beam_order(query, stats, mode=ExecutionMode.COM, eps=0.01,
     relation count for fixed width.  ``beam_width=1`` degenerates to a
     greedy minimum-delta-cost order; wider beams trade time for
     quality.  Deterministic: ties break on (cost, order).
+
+    With ``upper_bound``, prefixes whose cost already reaches the bound
+    are dropped before they can occupy a beam slot (their completions
+    can only cost more — deltas are non-negative), and the return is
+    ``None`` when the whole beam dies.  Unlike the exact DPs, pruning
+    *can* change which plan a bounded beam returns — dropped states
+    free slots for cheaper ones — but never for the worse: every
+    surviving state costs under the bound.  Beam search is the floor of
+    the planner's budget ladder, so it takes no ``deadline``.
     """
     mode = ExecutionMode(mode)
     if mode.uses_semijoin:
@@ -476,13 +553,17 @@ def beam_order(query, stats, mode=ExecutionMode.COM, eps=0.01,
                 delta = _delta_cost(
                     query, stats, joined, relation, mode, eps, weights, memo
                 )
-                new_set = frozenset(joined) | {relation}
                 new_cost = prefix_cost + delta
+                if upper_bound is not None and new_cost >= upper_bound:
+                    continue
+                new_set = frozenset(joined) | {relation}
                 incumbent = expansions.get(new_set)
                 if incumbent is None or new_cost < incumbent[0]:
                     expansions[new_set] = (new_cost, prefix_order + [relation])
         beam = sorted(expansions.values(),
                       key=lambda state: (state[0], state[1]))[:beam_width]
+        if not beam:
+            return None  # everything under consideration reached the bound
     cost, order = beam[0]
     return OptimizedPlan(query=query, order=order, cost=cost, mode=mode)
 

@@ -18,13 +18,26 @@ it:
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from .core.costmodel import CostMemo, CostWeights, plan_cost
+from .core.adaptive import (
+    adaptive_beam_width,
+    adaptive_block_size,
+    crossover_relations,
+    load_scaling_profile,
+)
+from .core.costmodel import (
+    CostMemo,
+    CostWeights,
+    expected_output_size,
+    plan_cost,
+)
 from .core.lru import LRUCache
 from .core.optimizer import (
+    PlanningBudgetExceeded,
     beam_order,
     choose_optimizer,
     exhaustive_optimal,
@@ -34,14 +47,21 @@ from .core.optimizer import (
 )
 from .core.parser import Contradiction, ParsedQuery, parse_query
 from .core.query import JoinQuery
-from .core.stats import EdgeStats, QueryStats, StatsCache, stats_from_data
+from .core.stats import (
+    EdgeStats,
+    QueryStats,
+    StatsCache,
+    directed_stats_from_data,
+    stats_for_rooting,
+    stats_from_data,
+)
 from .engine.executor import execute
 from .modes import ExecutionMode
 from .storage.partition import partition_replacements
 from .storage.table import Catalog, Table
 
 __all__ = ["AUTO_MAX_SHARDS", "AUTO_MIN_ROWS_PER_SHARD", "PhysicalPlan",
-           "Planner", "filtered_table", "push_down_selections"]
+           "PlanSpec", "Planner", "filtered_table", "push_down_selections"]
 
 #: ``partitioning="auto"`` only shards when the largest probe target
 #: has at least this many rows per shard — below that, shard routing
@@ -167,11 +187,85 @@ class PhysicalPlan:
             lines.append(f"  semi-join child orders: {self.child_orders}")
         return "\n".join(lines)
 
+    def to_spec(self, catalog_fingerprint):
+        """A :class:`PlanSpec` snapshot of this plan (catalog-free).
+
+        ``catalog_fingerprint`` is the *base* catalog's content digest
+        at planning time — the address a rehydrating process checks
+        before trusting the spec.
+        """
+        return PlanSpec(
+            root=self.query.root,
+            order=tuple(self.order),
+            mode=str(self.mode),
+            stats=self.stats,
+            predicted_cost=self.predicted_cost,
+            child_orders=tuple(
+                (relation, tuple(children))
+                for relation, children in (self.child_orders or {}).items()
+            ),
+            weights=self.weights,
+            num_shards=self.num_shards,
+            catalog_fingerprint=catalog_fingerprint,
+        )
+
     def __repr__(self):
         return (
             f"PhysicalPlan(mode={self.mode}, driver={self.query.root!r}, "
             f"order={self.order}, cost={self.predicted_cost:.4g})"
         )
+
+
+@dataclass(frozen=True)
+class PlanSpec:
+    """A picklable, catalog-free snapshot of a :class:`PhysicalPlan`.
+
+    Everything the optimizer *decided* — driver, join order, execution
+    mode, semi-join child orders, statistics, predicted cost — without
+    the derived catalog the plan executes against.  A process-pool
+    planning worker returns one of these (pickling a whole partitioned
+    catalog per query would swamp the planning speedup); the service
+    process rehydrates it against its own copy of the data with
+    :meth:`Planner.rehydrate`, which re-derives the (content-addressed,
+    LRU-cached) execution catalog locally.
+
+    ``catalog_fingerprint`` pins the spec to the base-catalog content it
+    was planned for: rehydration refuses a spec whose fingerprint no
+    longer matches, exactly like the plan cache misses on data changes.
+    """
+
+    root: str
+    order: tuple
+    mode: str
+    stats: QueryStats
+    predicted_cost: float
+    child_orders: tuple
+    weights: CostWeights
+    num_shards: int
+    catalog_fingerprint: str
+
+    def __repr__(self):
+        return (
+            f"PlanSpec(driver={self.root!r}, mode={self.mode}, "
+            f"order={list(self.order)}, cost={self.predicted_cost:.4g})"
+        )
+
+
+@dataclass
+class _PreparedQuery:
+    """Everything :meth:`Planner._prepare` derives for one query."""
+
+    #: the parsed query (or the JoinQuery as given)
+    query: object
+    join_query: JoinQuery
+    #: execution catalog: selections pushed down, partitioning applied
+    catalog: Catalog
+    #: catalog statistics derivation reads (source rows for sampling)
+    stats_catalog: Catalog
+    #: stats-cache token (``None`` when uncached)
+    data_token: tuple = None
+    #: resolved hash-shard fan-out of :attr:`catalog` (1 = off)
+    effective_shards: int = 1
 
 
 class Planner:
@@ -195,7 +289,19 @@ class Planner:
     idp_block_size, beam_width:
         Tuning knobs for the scaling optimizers (``optimizer="idp"`` /
         ``"beam"`` / ``"auto"``); see :func:`repro.core.idp_order` and
-        :func:`repro.core.beam_order`.
+        :func:`repro.core.beam_order`.  ``"auto"`` derives the value
+        from the measured crossover points in
+        ``benchmarks/results/BENCH_optimizer_scaling.json`` (falling
+        back to the historical constants when no benchmark record
+        exists); the resolved integer is what cache keys and planning
+        use.
+    planning_budget_ms:
+        Optional per-``plan()`` wall-time budget.  When set,
+        ``optimizer="auto"`` resolves its crossovers against the budget
+        (via the measured scaling profile) and the order search runs
+        under a deadline: an exhaustive DP that overruns falls back to
+        IDP, an IDP run that overruns falls back to beam search — the
+        anytime ladder.  ``None`` (default) keeps planning unbounded.
     partitioning:
         Default storage layout for planned queries: ``"off"`` (the
         exact single-index behavior), an ``int`` shard count, or
@@ -215,15 +321,27 @@ class Planner:
                   "survival", "rank", "result_size")
 
     def __init__(self, catalog, weights=None, eps=0.01, stats_cache=None,
-                 idp_block_size=8, beam_width=8, partitioning="off"):
+                 idp_block_size=8, beam_width=8, planning_budget_ms=None,
+                 partitioning="off"):
         self.catalog = catalog
         self.weights = weights or CostWeights()
         self.eps = eps
         if stats_cache is True:
             stats_cache = StatsCache()
         self.stats_cache = stats_cache
-        self.idp_block_size = idp_block_size
-        self.beam_width = beam_width
+        if planning_budget_ms is not None and planning_budget_ms <= 0:
+            raise ValueError(
+                f"planning_budget_ms must be positive or None, "
+                f"got {planning_budget_ms}"
+            )
+        self.planning_budget_ms = planning_budget_ms
+        self.idp_block_size = self._resolve_knob(
+            "idp_block_size", idp_block_size, adaptive_block_size,
+            planning_budget_ms,
+        )
+        self.beam_width = self._resolve_knob(
+            "beam_width", beam_width, adaptive_beam_width, planning_budget_ms,
+        )
         self.partitioning = self._check_partitioning(partitioning)
         # Two levels of content-addressed partitioning reuse: whole
         # derived catalogs (so exact-repeat plan() calls share built
@@ -234,6 +352,25 @@ class Planner:
         # cheap catalog derivation.
         self._partition_cache = LRUCache(8)
         self._replacement_cache = LRUCache(8)
+
+    @staticmethod
+    def _resolve_knob(name, value, derive, planning_budget_ms):
+        """Resolve a scaling knob: an explicit int, or ``"auto"``.
+
+        ``"auto"`` derives the value from the measured scaling profile
+        (:mod:`repro.core.adaptive`) at the configured planning budget;
+        the resolved *integer* is stored, so plan-cache keys and
+        workers always see a concrete value.
+        """
+        if value == "auto":
+            return derive(load_scaling_profile(), planning_budget_ms)
+        if isinstance(value, int) and not isinstance(value, bool):
+            if value < 1:
+                raise ValueError(f"{name} must be >= 1, got {value}")
+            return value
+        raise ValueError(
+            f'{name} must be an int >= 1 or "auto", got {value!r}'
+        )
 
     @staticmethod
     def _check_partitioning(partitioning):
@@ -304,21 +441,46 @@ class Planner:
         return AUTO_MIN_ROWS_PER_SHARD if partitioning == "auto" else 0
 
     @staticmethod
-    def resolve_optimizer(optimizer, num_relations):
+    def resolve_optimizer(optimizer, num_relations, planning_budget_ms=None):
         """The concrete algorithm ``plan()`` will run for a query size.
 
         ``"auto"`` maps to ``"exhaustive"`` / ``"idp"`` / ``"beam"`` by
         relation count; anything else resolves to itself.  The resolved
         name is part of the service layer's plan-cache key, so cached
         plans are keyed by the algorithm that actually produced them.
+
+        With a ``planning_budget_ms``, the ``"auto"`` crossovers come
+        from the measured scaling profile evaluated at that budget
+        (:func:`repro.core.adaptive.crossover_relations`) instead of
+        the static constants — a generous budget keeps the exhaustive
+        DP viable for larger queries, a tight one steps down earlier.
         """
-        if optimizer == "auto":
-            return choose_optimizer(num_relations)
-        return optimizer
+        if optimizer != "auto":
+            return optimizer
+        if planning_budget_ms is not None:
+            exhaustive_max, idp_max = crossover_relations(
+                load_scaling_profile(), planning_budget_ms
+            )
+            return choose_optimizer(num_relations, exhaustive_max, idp_max)
+        return choose_optimizer(num_relations)
 
     # ------------------------------------------------------------------
     # Statistics
     # ------------------------------------------------------------------
+
+    @staticmethod
+    def _stats_method_key(method, sample_fraction=0.05, seed=0):
+        """The stats-cache method component for a derivation request.
+
+        The single producer of this key string: :meth:`derive_stats`
+        and the driver search's per-rooting pre-registration must
+        agree byte-for-byte or entries written by one are unreadable
+        by the other.  The defaults here are :meth:`derive_stats`'s
+        defaults (the only configuration :meth:`plan` can reach).
+        """
+        if method == "sampling":
+            return f"sampling:{sample_fraction}:{seed}"
+        return method
 
     def derive_stats(self, catalog, query, method="exact",
                      sample_fraction=0.05, seed=0, data_token=None):
@@ -332,9 +494,8 @@ class Planner:
         if isinstance(method, QueryStats):
             return method
         if self.stats_cache is not None and data_token is not None:
-            method_key = method
-            if method == "sampling":
-                method_key = f"sampling:{sample_fraction}:{seed}"
+            method_key = self._stats_method_key(method, sample_fraction,
+                                                seed)
             return self.stats_cache.get_or_derive(
                 data_token,
                 query,
@@ -374,35 +535,71 @@ class Planner:
     # Planning
     # ------------------------------------------------------------------
 
-    def _order_for_mode(self, query, stats, mode, optimizer, memo=None):
+    #: anytime fallback order per starting algorithm: an order search
+    #: that overruns its deadline falls to the next rung; beam search is
+    #: the floor (linear time, never deadline-checked)
+    _LADDER = {
+        "exhaustive": ("exhaustive", "idp", "beam"),
+        "idp": ("idp", "beam"),
+        "beam": ("beam",),
+    }
+
+    def _order_for_mode(self, query, stats, mode, optimizer, memo=None,
+                        upper_bound=None, deadline=None):
         """Best order (and SJ child orders) for one strategy.
 
         ``memo`` is an optional shared
         :class:`~repro.core.costmodel.CostMemo` for this (query, stats,
         eps) so every strategy's optimization and costing reuse one set
         of subset tables.
+
+        ``upper_bound`` enables branch-and-bound pruning against an
+        incumbent plan's cost (the ``driver="auto"`` search supplies
+        it); the return is ``(None, {})`` when every candidate order
+        was pruned — the incumbent cannot be beaten from here.
+        ``deadline`` activates the anytime ladder: a DP that overruns
+        falls down to the next cheaper algorithm instead of failing.
         """
         if mode.uses_semijoin:
             plan = optimize_sj(query, stats, factorized=mode.factorized,
                                weights=self.weights)
             return plan.order, plan.child_orders
         memoize = memo if memo is not None else True
-        if optimizer == "exhaustive":
-            plan = exhaustive_optimal(query, stats, mode=mode, eps=self.eps,
-                                      weights=self.weights, memoize=memoize)
+        rungs = self._LADDER.get(optimizer)
+        if rungs is None:
+            plan = greedy_order(query, stats, optimizer, mode=mode,
+                                eps=self.eps, weights=self.weights)
             return plan.order, {}
-        if optimizer == "idp":
-            plan = idp_order(query, stats, mode=mode, eps=self.eps,
-                             weights=self.weights,
-                             block_size=self.idp_block_size, memoize=memoize)
-            return plan.order, {}
-        if optimizer == "beam":
-            plan = beam_order(query, stats, mode=mode, eps=self.eps,
-                              weights=self.weights,
-                              beam_width=self.beam_width, memoize=memoize)
-            return plan.order, {}
-        plan = greedy_order(query, stats, optimizer, mode=mode, eps=self.eps,
-                            weights=self.weights)
+        if deadline is None:
+            rungs = rungs[:1]  # nothing can overrun: no fallback needed
+        plan = None
+        for rung in rungs:
+            try:
+                if rung == "exhaustive":
+                    plan = exhaustive_optimal(
+                        query, stats, mode=mode, eps=self.eps,
+                        weights=self.weights, memoize=memoize,
+                        upper_bound=upper_bound, deadline=deadline,
+                    )
+                elif rung == "idp":
+                    plan = idp_order(
+                        query, stats, mode=mode, eps=self.eps,
+                        weights=self.weights,
+                        block_size=self.idp_block_size, memoize=memoize,
+                        upper_bound=upper_bound, deadline=deadline,
+                    )
+                else:
+                    plan = beam_order(
+                        query, stats, mode=mode, eps=self.eps,
+                        weights=self.weights,
+                        beam_width=self.beam_width, memoize=memoize,
+                        upper_bound=upper_bound,
+                    )
+            except PlanningBudgetExceeded:
+                continue  # fall down the ladder
+            break
+        if plan is None:
+            return None, {}  # pruned out: incumbent is at least as good
         return plan.order, {}
 
     def _cost(self, query, stats, order, mode, flat_output, memo=None):
@@ -410,49 +607,18 @@ class Planner:
                          flat_output=flat_output,
                          memo=memo).total(self.weights)
 
-    def plan(
-        self,
-        query,
-        mode="auto",
-        optimizer="exhaustive",
-        driver="fixed",
-        stats="exact",
-        flat_output=True,
-        partitioning=None,
-    ):
-        """Build a :class:`PhysicalPlan`.
+    def _prepare(self, query, partitioning, stats="exact"):
+        """Parse + derive the execution catalog for a query.
 
-        Parameters
-        ----------
-        query:
-            SQL text, a :class:`ParsedQuery`, or a rooted
-            :class:`JoinQuery`.
-        mode:
-            One of the six :class:`ExecutionMode` values, or ``"auto"``
-            to let the cost model choose the cheapest strategy.
-        optimizer:
-            ``"exhaustive"`` (Algorithm 1), ``"idp"`` (blockwise DP),
-            ``"beam"`` (beam search), ``"auto"`` (pick one of those
-            three by relation count), or a greedy heuristic name.
-        driver:
-            ``"fixed"`` keeps the given rooting; ``"auto"`` tries every
-            relation as the driver and keeps the cheapest plan.
-        stats:
-            ``"exact"``, ``"sampling"``, or a prebuilt
-            :class:`QueryStats`.
-        partitioning:
-            ``"auto"``, ``"off"`` or a shard count; ``None`` (default)
-            uses the planner's configured default.  When the resolved
-            count exceeds 1 the plan executes against a hash-partitioned
-            derivative of the catalog; the partitioned layout is chosen
-            for the query's given rooting, so with ``driver="auto"`` a
-            rerooted winner still runs correctly (merged-view indexes)
-            but only probes matching the shard key fan out.
+        Shared by :meth:`plan` and :meth:`rehydrate`: selection
+        push-down, hash-partitioning (both content-addressed and
+        LRU-reused) and the stats/data tokens.  Returns a
+        :class:`_PreparedQuery`; the expensive steps hit the same
+        caches from every entry point, which is what makes rehydrating
+        a :class:`PlanSpec` cheap — the worker only ships decisions,
+        the local catalog derivation is a cache lookup after the first
+        query of a shape.
         """
-        if optimizer not in self.OPTIMIZERS:
-            raise ValueError(
-                f"optimizer must be one of {self.OPTIMIZERS}, got {optimizer!r}"
-            )
         catalog = self.catalog
         data_token = None
         if isinstance(query, str):
@@ -546,34 +712,285 @@ class Planner:
             # across shard counts instead of re-running an identical
             # O(data) scan every time the knob changes
             data_token = content_token
+        return _PreparedQuery(
+            query=query,
+            join_query=join_query,
+            catalog=catalog,
+            stats_catalog=stats_catalog,
+            data_token=data_token,
+            effective_shards=effective_shards,
+        )
 
-        optimizer = self.resolve_optimizer(optimizer,
-                                           join_query.num_relations)
-        drivers = (
-            join_query.relations if driver == "auto" else [join_query.root]
+    def plan(
+        self,
+        query,
+        mode="auto",
+        optimizer="exhaustive",
+        driver="fixed",
+        stats="exact",
+        flat_output=True,
+        partitioning=None,
+        planning_budget_ms=None,
+    ):
+        """Build a :class:`PhysicalPlan`.
+
+        Parameters
+        ----------
+        query:
+            SQL text, a :class:`ParsedQuery`, or a rooted
+            :class:`JoinQuery`.
+        mode:
+            One of the six :class:`ExecutionMode` values, or ``"auto"``
+            to let the cost model choose the cheapest strategy.
+        optimizer:
+            ``"exhaustive"`` (Algorithm 1), ``"idp"`` (blockwise DP),
+            ``"beam"`` (beam search), ``"auto"`` (pick one of those
+            three by relation count), or a greedy heuristic name.
+        driver:
+            ``"fixed"`` keeps the given rooting; ``"auto"`` searches
+            every relation as the driver and keeps the cheapest plan.
+            The search derives statistics for *both directions* of
+            every edge once (instead of once per rooting), ranks the
+            rootings by a cheap greedy proxy plan, and prunes each
+            remaining rooting's DP against the incumbent cost
+            (branch-and-bound over the non-negative delta costs) — the
+            winning plan is the same one the exhaustive per-rooting
+            sweep would pick, found in a fraction of the time.
+        stats:
+            ``"exact"``, ``"sampling"``, or a prebuilt
+            :class:`QueryStats`.
+        partitioning:
+            ``"auto"``, ``"off"`` or a shard count; ``None`` (default)
+            uses the planner's configured default.  When the resolved
+            count exceeds 1 the plan executes against a hash-partitioned
+            derivative of the catalog; the partitioned layout is chosen
+            for the query's given rooting, so with ``driver="auto"`` a
+            rerooted winner still runs correctly (merged-view indexes)
+            but only probes matching the shard key fan out.
+        planning_budget_ms:
+            Per-call override of the planner's configured planning
+            budget (see the class docstring): order searches run under
+            a deadline and fall down the exhaustive -> IDP -> beam
+            ladder when they overrun it.
+        """
+        if optimizer not in self.OPTIMIZERS:
+            raise ValueError(
+                f"optimizer must be one of {self.OPTIMIZERS}, got {optimizer!r}"
+            )
+        if planning_budget_ms is None:
+            planning_budget_ms = self.planning_budget_ms
+        deadline = (
+            time.perf_counter() + planning_budget_ms / 1e3
+            if planning_budget_ms else None
+        )
+        prep = self._prepare(query, partitioning, stats)
+        join_query = prep.join_query
+        optimizer = self.resolve_optimizer(
+            optimizer, join_query.num_relations, planning_budget_ms
         )
         modes = (
             ExecutionMode.all_modes()
             if mode == "auto"
             else [ExecutionMode(mode)]
         )
+        if driver == "auto" and join_query.num_relations > 1:
+            return self._plan_driver_auto(
+                prep, modes, optimizer, stats, flat_output, deadline
+            )
         best = None
-        for root in drivers:
-            rooted = join_query.rerooted(root)
-            rooted_stats = self.derive_stats(stats_catalog, rooted, stats,
-                                             data_token=data_token)
-            # One memo per rooting: every strategy's order search and
-            # costing share the same survival/Eq. (1) subset tables.
-            memo = CostMemo(rooted)
-            for candidate_mode in modes:
-                order, child_orders = self._order_for_mode(
-                    rooted, rooted_stats, candidate_mode, optimizer, memo
+        rooted = join_query
+        rooted_stats = self.derive_stats(prep.stats_catalog, rooted, stats,
+                                         data_token=prep.data_token)
+        # One memo per rooting: every strategy's order search and
+        # costing share the same survival/Eq. (1) subset tables.
+        memo = CostMemo(rooted)
+        for candidate_mode in modes:
+            order, child_orders = self._order_for_mode(
+                rooted, rooted_stats, candidate_mode, optimizer, memo,
+                deadline=deadline,
+            )
+            cost = self._cost(rooted, rooted_stats, order,
+                              candidate_mode, flat_output, memo)
+            if best is None or cost < best.predicted_cost:
+                best = PhysicalPlan(
+                    catalog=prep.catalog,
+                    query=rooted,
+                    order=order,
+                    mode=candidate_mode,
+                    stats=rooted_stats,
+                    predicted_cost=cost,
+                    child_orders=child_orders,
+                    weights=self.weights,
+                    num_shards=prep.effective_shards,
                 )
+        return best
+
+    # ------------------------------------------------------------------
+    # Driver choice at scale (cross-rooting search)
+    # ------------------------------------------------------------------
+
+    def _directed_stats(self, prep, method, sample_fraction=0.05, seed=0):
+        """Direction-complete edge statistics for a driver search.
+
+        One measurement (or sampling) pass covers both probe directions
+        of every edge — every candidate rooting's :class:`QueryStats`
+        is then assembled with dictionary work.  Cached in the stats
+        cache under the *undirected* query signature, so repeated
+        ``driver="auto"`` plans (and plans over rerooted variants of
+        one graph) share a single derivation.
+        """
+        catalog, join_query = prep.stats_catalog, prep.join_query
+        if method == "exact":
+            def derive():
+                return directed_stats_from_data(catalog, join_query)
+        elif method == "sampling":
+            def derive():
+                return self._directed_sampling_stats(
+                    catalog, join_query, sample_fraction, seed
+                )
+        else:
+            raise ValueError(
+                f"stats method must be 'exact', 'sampling' or a QueryStats; "
+                f"got {method!r}"
+            )
+        if self.stats_cache is not None and prep.data_token is not None:
+            method_key = self._stats_method_key(method, sample_fraction,
+                                                seed)
+            return self.stats_cache.get_or_derive_directed(
+                prep.data_token, join_query, method_key, derive
+            )
+        return derive()
+
+    @staticmethod
+    def _directed_sampling_stats(catalog, query, sample_fraction, seed):
+        """Sampling-based :func:`directed_stats_from_data` equivalent.
+
+        Each direction's estimate is built exactly as
+        :meth:`derive_stats` would for a rooting that orients the edge
+        that way (same constructor arguments, same seed), so assembled
+        per-rooting stats are bit-identical to the per-rooting path.
+        """
+        from .estimation.sampling import CorrelatedSample
+
+        directed = {}
+        for rel_a, attr_a, rel_b, attr_b in query.undirected_edges():
+            for parent, parent_attr, child, child_attr in (
+                (rel_a, attr_a, rel_b, attr_b),
+                (rel_b, attr_b, rel_a, attr_a),
+            ):
+                estimate = CorrelatedSample(
+                    catalog.table(parent),
+                    catalog.table(child),
+                    parent_attr,
+                    child_attr,
+                    sample_fraction=sample_fraction,
+                    seed=seed,
+                ).estimate()
+                directed[(parent, child)] = EdgeStats(
+                    m=estimate.m, fo=max(estimate.fo, 1e-9)
+                )
+        sizes = {rel: len(catalog.table(rel)) for rel in query.relations}
+        return directed, sizes
+
+    def _plan_driver_auto(self, prep, modes, optimizer, stats, flat_output,
+                          deadline):
+        """The cross-rooting driver search (see :meth:`plan`).
+
+        Three coordinated optimizations over the naive
+        once-per-rooting sweep:
+
+        1. **shared statistics** — both directions of every edge are
+           measured once (:meth:`_directed_stats`); per-rooting stats
+           are assembled, not re-derived, turning O(n) data scans into
+           O(1);
+        2. **proxy ranking** — every rooting gets a width-1 beam
+           (greedy minimum-delta) plan first; rootings are evaluated
+           in ascending proxy cost so the incumbent is strong early;
+        3. **incumbent pruning** — each rooting's real order search
+           runs with ``upper_bound`` set to the best full plan cost so
+           far; DP states that reach it are dropped, and most losing
+           rootings exit without finishing (delta costs are
+           non-negative, and a plan's full cost only adds non-negative
+           terms on top of the DP objective, so the bound is sound).
+        """
+        join_query = prep.join_query
+        if isinstance(stats, QueryStats):
+            # Edge statistics are directional: a prebuilt QueryStats
+            # only describes the rooting it was derived for, so probing
+            # other drivers with it would read edges that do not exist.
+            raise ValueError(
+                'driver="auto" needs per-rooting statistics; pass '
+                'stats="exact" or "sampling" (prebuilt QueryStats are '
+                "valid only for their own rooting)"
+            )
+        directed, sizes = self._directed_stats(prep, stats)
+        proxy_mode = next(
+            (mode for mode in modes if not mode.uses_semijoin), None
+        )
+        candidates = []
+        for position, root in enumerate(join_query.relations):
+            rooted = join_query.rerooted(root)
+            rooted_stats = stats_for_rooting(rooted, directed, sizes)
+            if self.stats_cache is not None and \
+                    prep.data_token is not None:
+                # register under the per-rooting key too (the same key
+                # derive_stats would use): later fixed-driver plans of
+                # any rooting reuse it
+                method_key = self._stats_method_key(stats)
+                rooted_stats = self.stats_cache.get_or_derive(
+                    prep.data_token, rooted, method_key,
+                    lambda built=rooted_stats: built,
+                )
+            # One memo per rooting (survival tables are
+            # rooting-specific); shared by the proxy, every strategy's
+            # order search, and the final costing.
+            memo = CostMemo(rooted)
+            if proxy_mode is not None:
+                greedy = beam_order(
+                    rooted, rooted_stats, mode=proxy_mode, eps=self.eps,
+                    weights=self.weights, beam_width=1, memoize=memo,
+                )
+                proxy_cost = self._cost(rooted, rooted_stats, greedy.order,
+                                        proxy_mode, flat_output, memo)
+            else:
+                proxy_cost = 0.0  # SJ-only: polynomial, nothing to prune
+            candidates.append(
+                (proxy_cost, position, rooted, rooted_stats, memo)
+            )
+        candidates.sort(key=lambda entry: (entry[0], entry[1]))
+        best = None
+        for _, _, rooted, rooted_stats, memo in candidates:
+            for candidate_mode in modes:
+                upper_bound = None
+                if best is not None:
+                    # The DP objective counts probes only; a plan's full
+                    # cost adds tuple-generation terms with a guaranteed
+                    # floor — the expected flat output size — whenever
+                    # flat output is requested (the expansion step) or
+                    # the mode materializes tuples (STD variants' last
+                    # join emits the full result).  Subtracting that
+                    # floor converts the incumbent's full cost into a
+                    # sound, *tight* bound in DP units.
+                    slack = 0.0
+                    if flat_output or not candidate_mode.factorized:
+                        slack = (
+                            expected_output_size(rooted, rooted_stats)
+                            * self.weights.tuple_generation
+                        )
+                    upper_bound = best.predicted_cost - slack
+                    if upper_bound <= 0.0:
+                        continue  # the floor alone reaches the incumbent
+                order, child_orders = self._order_for_mode(
+                    rooted, rooted_stats, candidate_mode, optimizer, memo,
+                    upper_bound=upper_bound, deadline=deadline,
+                )
+                if order is None:
+                    continue  # pruned: cannot beat the incumbent
                 cost = self._cost(rooted, rooted_stats, order,
                                   candidate_mode, flat_output, memo)
                 if best is None or cost < best.predicted_cost:
                     best = PhysicalPlan(
-                        catalog=catalog,
+                        catalog=prep.catalog,
                         query=rooted,
                         order=order,
                         mode=candidate_mode,
@@ -581,6 +998,48 @@ class Planner:
                         predicted_cost=cost,
                         child_orders=child_orders,
                         weights=self.weights,
-                        num_shards=effective_shards,
+                        num_shards=prep.effective_shards,
                     )
         return best
+
+    # ------------------------------------------------------------------
+    # Plan-spec rehydration (process-pool planning)
+    # ------------------------------------------------------------------
+
+    def rehydrate(self, spec, query, partitioning=None):
+        """A :class:`PhysicalPlan` from a :class:`PlanSpec` planned
+        elsewhere (typically a planning-worker process).
+
+        ``query`` must be the same query the spec was planned for and
+        this planner's catalog must hold the same content the spec was
+        planned against (checked via the spec's pinned fingerprint).
+        The execution catalog is derived locally through the same
+        content-addressed caches :meth:`plan` uses, so rehydration costs
+        a push-down plus cache lookups — never an order search.
+        """
+        if spec.catalog_fingerprint != self.catalog.fingerprint():
+            raise ValueError(
+                "stale PlanSpec: the catalog content changed since it "
+                "was planned (fingerprint mismatch)"
+            )
+        prep = self._prepare(query, partitioning)
+        rooted = prep.join_query.rerooted(spec.root)
+        if prep.effective_shards != spec.num_shards:
+            raise ValueError(
+                f"PlanSpec was planned for {spec.num_shards} shard(s) "
+                f"but this planner derives {prep.effective_shards}"
+            )
+        return PhysicalPlan(
+            catalog=prep.catalog,
+            query=rooted,
+            order=list(spec.order),
+            mode=ExecutionMode(spec.mode),
+            stats=spec.stats,
+            predicted_cost=spec.predicted_cost,
+            child_orders={
+                relation: list(children)
+                for relation, children in spec.child_orders
+            },
+            weights=spec.weights,
+            num_shards=spec.num_shards,
+        )

@@ -4,16 +4,21 @@ The subsystem a long-lived process (a server, a benchmark harness)
 would use instead of calling the planner directly:
 
 * :class:`QuerySession` — plan cache + stats cache + batched execution;
+* :class:`AsyncQueryService` — the asyncio front end multiplexing many
+  concurrent clients over one session (cache-hit fast path,
+  process-pool planning, signal-driven admission);
 * :class:`PreparedStatement` — plan once, execute many with new
   selection constants (``?`` placeholders);
 * :class:`PlanCache` / :func:`normalized_query_key` — the cache layer,
   reusable on its own.
 """
 
+from .async_service import AsyncQueryService
 from .plancache import PlanCache, normalized_query_key
 from .session import PreparedStatement, QueryReport, QuerySession
 
 __all__ = [
+    "AsyncQueryService",
     "PlanCache",
     "PreparedStatement",
     "QueryReport",

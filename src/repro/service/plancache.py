@@ -103,6 +103,16 @@ class PlanCache:
         """The cached plan for ``key``, or ``None`` (counts hit/miss)."""
         return self._cache.get(key)
 
+    def peek(self, key):
+        """Whether ``key`` is cached — no counters touched, no recency
+        refresh.
+
+        Admission layers use this to *route* (cache hit -> straight to
+        execution, miss -> a planning worker) without double-counting
+        the hit the eventual :meth:`get` will record.
+        """
+        return key in self._cache
+
     def put(self, key, plan):
         return self._cache.put(key, plan)
 

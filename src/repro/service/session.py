@@ -55,6 +55,9 @@ class QueryReport:
     #: wall time of the phase-1 semi-join reduction (SJ modes build
     #: their reduced indexes here, so read both phases for build cost)
     reduction_seconds: float = 0.0
+    #: snapshot of :meth:`QuerySession.cache_stats` taken when the
+    #: report was produced (``None`` outside session executions)
+    cache_stats: dict = None
     timed_out: bool = False
     error: Exception = None
 
@@ -75,22 +78,38 @@ class QueryReport:
         )
 
 
-def _reported_run(query, plan_phase):
+def _reported_run(query, plan_phase, session=None):
     """Shared plan/execute/report scaffolding for service executions.
 
     ``plan_phase()`` returns ``(plan, cache_hit, run)`` where ``run()``
     performs the engine execution; any planning failure, budget overrun
     or engine error is recorded in the returned :class:`QueryReport`
-    instead of raising.
+    instead of raising — a mid-batch failure must never abort the rest
+    of an ``execute_many`` batch.  A budget overrun is reported as
+    ``timed_out`` no matter which phase raised it (a prepared
+    statement's rebind, for example, executes inside its plan phase).
+    With ``session``, the report carries a :meth:`QuerySession.cache_stats`
+    snapshot for observability.
     """
     t0 = time.perf_counter()
     try:
         plan, cache_hit, run = plan_phase()
+    except BudgetExceededError:
+        report = QueryReport(
+            query=query, timed_out=True,
+            planning_seconds=time.perf_counter() - t0,
+        )
+        if session is not None:
+            report.cache_stats = session.cache_stats()
+        return report
     except Exception as exc:  # noqa: BLE001 - reported, not swallowed
-        return QueryReport(
+        report = QueryReport(
             query=query, error=exc,
             planning_seconds=time.perf_counter() - t0,
         )
+        if session is not None:
+            report.cache_stats = session.cache_stats()
+        return report
     t1 = time.perf_counter()
     report = QueryReport(
         query=query, plan=plan, cache_hit=cache_hit,
@@ -111,6 +130,8 @@ def _reported_run(query, plan_phase):
         report.reduction_seconds = getattr(
             report.result, "reduction_seconds", 0.0
         )
+    if session is not None:
+        report.cache_stats = session.cache_stats()
     return report
 
 
@@ -130,7 +151,14 @@ class QuerySession:
     idp_block_size, beam_width:
         Scaling-optimizer knobs, forwarded to the
         :class:`~repro.planner.Planner` (and part of the plan-cache
-        key).
+        key).  ``"auto"`` derives them from the measured scaling
+        profile; the resolved integers are what the cache keys carry.
+    planning_budget_ms:
+        Optional per-query planning budget, forwarded to the
+        :class:`~repro.planner.Planner` (the anytime
+        exhaustive -> IDP -> beam ladder) and part of the plan-cache
+        key — a plan produced under a tight budget must not be served
+        to an unbudgeted request.
     partitioning:
         Default storage layout (``"auto"`` / ``"off"`` / shard count),
         forwarded to the :class:`~repro.planner.Planner`; the
@@ -141,12 +169,13 @@ class QuerySession:
 
     def __init__(self, catalog, weights=None, eps=0.01, plan_cache_size=128,
                  stats_cache_size=256, idp_block_size=8, beam_width=8,
-                 partitioning="off"):
+                 planning_budget_ms=None, partitioning="off"):
         self.catalog = catalog
         self.planner = Planner(
             catalog, weights=weights, eps=eps,
             stats_cache=StatsCache(stats_cache_size),
             idp_block_size=idp_block_size, beam_width=beam_width,
+            planning_budget_ms=planning_budget_ms,
             partitioning=partitioning,
         )
         self.plan_cache = PlanCache(plan_cache_size)
@@ -157,14 +186,16 @@ class QuerySession:
     # ------------------------------------------------------------------
 
     def _plan_options(self, mode, resolved_optimizer, driver, stats,
-                      flat_output, resolved_shards, partition_floor):
+                      flat_output, resolved_shards, partition_floor,
+                      budget_ms):
         # Keyed on the *resolved* algorithm and shard count (never the
         # raw "auto"), so an auto-planned query and an explicit request
         # for the same resolution share one cache entry.  The scaling
         # knobs are part of the key: retuning block size / beam width
         # changes the plan the algorithm produces, so it must miss, not
         # serve stale; likewise the shard count pins the plan to the
-        # partitioned catalog it was built against.
+        # partitioned catalog it was built against, and the planning
+        # budget pins it to the anytime ladder that produced it.
         return (
             str(mode),
             resolved_optimizer,
@@ -179,6 +210,7 @@ class QuerySession:
             # "auto" applies a post-selection size floor explicit
             # counts don't, so equal resolutions may shard differently
             partition_floor,
+            budget_ms,
         )
 
     @staticmethod
@@ -188,9 +220,49 @@ class QuerySession:
             return len(query.relations)
         return query.num_relations
 
+    def cache_key(self, query, mode="auto", optimizer="exhaustive",
+                  driver="fixed", stats="exact", flat_output=True,
+                  partitioning=None, planning_budget_ms=None):
+        """The plan-cache key :meth:`plan` would use for this request.
+
+        Also maintains the fingerprint guard (a catalog content change
+        clears entries pinned to superseded data).  Exposed for front
+        ends that manage cache population themselves — the async
+        service peeks with it to route cache hits straight to
+        execution and inserts worker-planned specs under it.  ``query``
+        must already be parsed (a :class:`ParsedQuery` or
+        :class:`~repro.core.query.JoinQuery`).
+        """
+        fingerprint = self.catalog.fingerprint()
+        if self._last_fingerprint != fingerprint:
+            # Entries for superseded data are unreachable by key
+            # (plans pin their whole derived catalog, so letting
+            # them linger until LRU churn wastes real memory).
+            if self._last_fingerprint is not None:
+                self.plan_cache.clear()
+            self._last_fingerprint = fingerprint
+        if planning_budget_ms is None:
+            planning_budget_ms = self.planner.planning_budget_ms
+        resolved = Planner.resolve_optimizer(
+            optimizer, self._num_relations(query), planning_budget_ms
+        )
+        resolved_shards = self.planner.resolve_partitioning(
+            partitioning, query
+        )
+        partition_floor = self.planner.resolve_partition_floor(
+            partitioning
+        )
+        return self.plan_cache.key(
+            query,
+            fingerprint,
+            self._plan_options(mode, resolved, driver, stats,
+                               flat_output, resolved_shards,
+                               partition_floor, planning_budget_ms),
+        )
+
     def plan(self, query, mode="auto", optimizer="exhaustive", driver="fixed",
              stats="exact", flat_output=True, use_cache=True,
-             partitioning=None):
+             partitioning=None, planning_budget_ms=None):
         """A :class:`~repro.planner.PhysicalPlan`, via the plan cache.
 
         Accepts the same arguments as :meth:`Planner.plan` (including
@@ -198,54 +270,58 @@ class QuerySession:
         relation count, and ``partitioning``, which defaults to the
         session's configured layout).  Plans are cached per (normalized
         query structure, catalog fingerprint, planning options
-        **including the resolved algorithm, the scaling knobs and the
-        resolved shard count**) — so ``"auto"`` shares entries with an
-        explicit request for the resolution it maps to, while retuning
-        ``idp_block_size`` / ``beam_width`` / ``partitioning`` misses
-        instead of serving a stale plan; prebuilt :class:`QueryStats`
-        bypass the cache (they are caller state the key cannot see).
+        **including the resolved algorithm, the scaling knobs, the
+        resolved shard count and the planning budget**) — so ``"auto"``
+        shares entries with an explicit request for the resolution it
+        maps to, while retuning ``idp_block_size`` / ``beam_width`` /
+        ``partitioning`` misses instead of serving a stale plan;
+        prebuilt :class:`QueryStats` bypass the cache (they are caller
+        state the key cannot see).
+        """
+        return self._plan_with_hit(
+            query, mode=mode, optimizer=optimizer, driver=driver,
+            stats=stats, flat_output=flat_output, use_cache=use_cache,
+            partitioning=partitioning,
+            planning_budget_ms=planning_budget_ms,
+        )[0]
+
+    def _plan_with_hit(self, query, mode="auto", optimizer="exhaustive",
+                       driver="fixed", stats="exact", flat_output=True,
+                       use_cache=True, partitioning=None,
+                       planning_budget_ms=None):
+        """``(plan, cache_hit)`` — :meth:`plan` plus a race-free hit flag.
+
+        The flag comes from *this call's own* cache lookup, never from
+        a before/after delta on the shared counters (concurrent
+        sessions — the async service's thread pool — would otherwise
+        attribute another query's hit to a cold plan).
         """
         if isinstance(query, str):
             # parse once: the cache key and the planner share the result
             query = parse_query(query)
         if use_cache and not isinstance(stats, QueryStats):
-            fingerprint = self.catalog.fingerprint()
-            if self._last_fingerprint != fingerprint:
-                # Entries for superseded data are unreachable by key
-                # (plans pin their whole derived catalog, so letting
-                # them linger until LRU churn wastes real memory).
-                if self._last_fingerprint is not None:
-                    self.plan_cache.clear()
-                self._last_fingerprint = fingerprint
-            resolved = Planner.resolve_optimizer(
-                optimizer, self._num_relations(query)
-            )
-            resolved_shards = self.planner.resolve_partitioning(
-                partitioning, query
-            )
-            partition_floor = self.planner.resolve_partition_floor(
-                partitioning
-            )
-            key = self.plan_cache.key(
-                query,
-                fingerprint,
-                self._plan_options(mode, resolved, driver, stats,
-                                   flat_output, resolved_shards,
-                                   partition_floor),
+            key = self.cache_key(
+                query, mode=mode, optimizer=optimizer, driver=driver,
+                stats=stats, flat_output=flat_output,
+                partitioning=partitioning,
+                planning_budget_ms=planning_budget_ms,
             )
             plan = self.plan_cache.get(key)
-            if plan is None:
-                plan = self.planner.plan(
-                    query, mode=mode, optimizer=optimizer, driver=driver,
-                    stats=stats, flat_output=flat_output,
-                    partitioning=partitioning,
-                )
-                self.plan_cache.put(key, plan)
-            return plan
+            if plan is not None:
+                return plan, True
+            plan = self.planner.plan(
+                query, mode=mode, optimizer=optimizer, driver=driver,
+                stats=stats, flat_output=flat_output,
+                partitioning=partitioning,
+                planning_budget_ms=planning_budget_ms,
+            )
+            self.plan_cache.put(key, plan)
+            return plan, False
         return self.planner.plan(
             query, mode=mode, optimizer=optimizer, driver=driver,
             stats=stats, flat_output=flat_output, partitioning=partitioning,
-        )
+            planning_budget_ms=planning_budget_ms,
+        ), False
 
     def explain(self, query, **plan_kwargs):
         """The ``explain()`` text of the (possibly cached) plan."""
@@ -260,9 +336,9 @@ class QuerySession:
         """Plan (through the cache) and run one query; returns a report."""
 
         def plan_phase():
-            hits_before = self.plan_cache.stats.hits
-            plan = self.plan(query, flat_output=flat_output, **plan_kwargs)
-            cache_hit = self.plan_cache.stats.hits > hits_before
+            plan, cache_hit = self._plan_with_hit(
+                query, flat_output=flat_output, **plan_kwargs
+            )
 
             def run():
                 return plan.execute(
@@ -273,7 +349,7 @@ class QuerySession:
 
             return plan, cache_hit, run
 
-        return _reported_run(query, plan_phase)
+        return _reported_run(query, plan_phase, session=self)
 
     def execute_many(self, queries, budgets=None,
                      max_intermediate_tuples=DEFAULT_BUDGET,
@@ -325,10 +401,42 @@ class QuerySession:
         return PreparedStatement(self, query, plan_kwargs)
 
     def cache_info(self):
-        """Plan- and stats-cache counters, for monitoring."""
+        """Plan- and stats-cache counters, for monitoring.
+
+        Returns the live :class:`~repro.core.lru.CacheStats` objects
+        (they keep counting); :meth:`cache_stats` returns a plain-dict
+        point-in-time snapshot instead.
+        """
         return {
             "plan_cache": self.plan_cache.stats,
             "stats_cache": self.planner.stats_cache.stats,
+        }
+
+    def cache_stats(self):
+        """A point-in-time snapshot of plan- and stats-cache counters.
+
+        Plain nested dicts (hits / misses / evictions / invalidations /
+        size / hit_rate per cache), safe to store in a
+        :class:`QueryReport`, serialize into benchmark output, or diff
+        across calls — unlike :meth:`cache_info`, nothing in the
+        snapshot keeps counting.
+        """
+
+        def snapshot(stats, size):
+            return {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "evictions": stats.evictions,
+                "invalidations": stats.invalidations,
+                "size": size,
+                "hit_rate": round(stats.hit_rate, 4),
+            }
+
+        return {
+            "plan_cache": snapshot(self.plan_cache.stats,
+                                   len(self.plan_cache)),
+            "stats_cache": snapshot(self.planner.stats_cache.stats,
+                                    len(self.planner.stats_cache)),
         }
 
     def __repr__(self):
@@ -432,9 +540,9 @@ class PreparedStatement:
         ):
             kwargs = dict(self.plan_kwargs)
             kwargs["flat_output"] = flat_output
-            hits_before = self.session.plan_cache.stats.hits
-            self._template = self.session.plan(bound, **kwargs)
-            cache_hit = self.session.plan_cache.stats.hits > hits_before
+            self._template, cache_hit = self.session._plan_with_hit(
+                bound, **kwargs
+            )
             self._template_fingerprint = fingerprint
             self._template_flat_output = flat_output
             return self._template, True, cache_hit
@@ -475,7 +583,7 @@ class PreparedStatement:
 
             return template, cache_hit, run
 
-        report = _reported_run(bound, plan_phase)
+        report = _reported_run(bound, plan_phase, session=self.session)
         self.executions += 1
         return report
 

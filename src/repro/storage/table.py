@@ -210,6 +210,27 @@ class Catalog:
         #: again (e.g. evicted plan caches) pay nothing
         self._pending_refresh = {}
 
+    def __getstate__(self):
+        """Pickle without the live-derivative bookkeeping.
+
+        The :class:`weakref.WeakSet` of derived catalogs (and the
+        deferred-refresh queue) only matter for in-process mutation
+        propagation; a pickled copy (e.g. one shipped to a planning
+        worker process) starts with no derivatives.  Tables, cached
+        indexes and the content fingerprint travel as-is, so the copy
+        is content-identical — ``fingerprint()`` returns the same hex
+        string on both sides, which is what lets workers address
+        catalogs by content.
+        """
+        self._flush_refresh()  # the copy must see current data
+        state = self.__dict__.copy()
+        state["_derived"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._derived = weakref.WeakSet()
+
     def add(self, table):
         """Register a table (replacing any previous table of that name)."""
         if not isinstance(table, Table):

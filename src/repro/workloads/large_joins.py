@@ -26,11 +26,13 @@ import numpy as np
 
 from ..core.query import JoinEdge, JoinQuery
 from ..core.stats import EdgeStats, QueryStats
+from ..storage.table import Catalog
 
 __all__ = [
     "chain_query",
     "star_query",
     "random_tree_query",
+    "large_join_catalog",
     "large_query_stats",
     "scaling_suite",
     "LARGE_SHAPES",
@@ -113,6 +115,40 @@ def large_query_stats(
         for relation in query.non_root_relations
     }
     return QueryStats(float(driver_size), edge_stats)
+
+
+def large_join_catalog(query, rows_per_relation=256, key_domain=64, seed=0):
+    """Random data backing a large join query's schema.
+
+    Every relation gets :data:`rows_per_relation` rows; a non-root
+    relation carries its join key column ``k`` and every relation
+    carries one ``k_<child>`` column per child, all drawn uniformly
+    from ``[0, key_domain)`` — so joins have realistic
+    (many-to-many) match probabilities and fanouts that differ per
+    probe direction.  This is what lets planner-level experiments
+    (driver search, service benchmarks) run 40-relation queries
+    against *actual data* instead of synthetic :class:`QueryStats`.
+    """
+    if rows_per_relation < 1:
+        raise ValueError(
+            f"rows_per_relation must be >= 1, got {rows_per_relation}"
+        )
+    rng = np.random.default_rng(seed)
+    catalog = Catalog()
+    for relation in query.preorder():
+        columns = {}
+        if relation != query.root:
+            columns[query.edge_to(relation).child_attr] = rng.integers(
+                0, key_domain, rows_per_relation
+            )
+        for child in query.children(relation):
+            columns[query.edge_to(child).parent_attr] = rng.integers(
+                0, key_domain, rows_per_relation
+            )
+        if not columns:  # single-relation query: give the driver payload
+            columns["k"] = rng.integers(0, key_domain, rows_per_relation)
+        catalog.add_table(relation, columns)
+    return catalog
 
 
 def scaling_suite(sizes, shapes=("chain", "star", "random_tree"), seed=0,

@@ -1,0 +1,165 @@
+"""Tests for adaptive optimizer knobs and the planning-budget ladder."""
+
+import json
+
+import pytest
+
+from repro.core.adaptive import (
+    adaptive_beam_width,
+    adaptive_block_size,
+    crossover_relations,
+    load_scaling_profile,
+    profile_from_record,
+)
+from repro.core.optimizer import PlanningBudgetExceeded, idp_order
+from repro.planner import Planner
+from repro.workloads.large_joins import (
+    large_join_catalog,
+    large_query_stats,
+    star_query,
+)
+
+#: a synthetic benchmark record with a clean exponential star series
+#: (1 ms at n=8 doubling per relation) and a linear-ish chain series
+RECORD = {
+    "knobs": {"block_size": 8, "beam_width": 8},
+    "quality_vs_exhaustive": [
+        {"shape": "star", "num_relations": n,
+         "exhaustive_ms_median": 2.0 ** (n - 8)}
+        for n in (8, 10, 12)
+    ],
+    "optimization_time": [
+        {"shape": "chain", "num_relations": n,
+         "idp_ms_median": n / 16, "beam_ms_median": n / 20,
+         "exhaustive_ms_median": n / 10}
+        for n in (16, 32, 64)
+    ] + [
+        {"shape": "star", "num_relations": n,
+         "idp_ms_median": n / 2, "beam_ms_median": n / 4,
+         "exhaustive_ms_median": None}
+        for n in (16, 32, 64)
+    ],
+}
+
+
+class TestProfileDerivation:
+    def test_profile_keeps_shapes_separate(self):
+        profile = profile_from_record(RECORD)
+        assert set(profile.exhaustive_ms) == {"star", "chain"}
+        assert profile.exhaustive_ms["star"][8] == 1.0
+        assert profile.measured_block_size == 8
+
+    def test_empty_record_is_no_profile(self):
+        assert profile_from_record({}) is None
+        assert profile_from_record({"quality_vs_exhaustive": []}) is None
+
+    def test_worst_shape_binds_the_crossover(self):
+        # The star series doubles per relation: at a per-search share of
+        # budget/4, the exhaustive limit must track the star wall, not
+        # the effectively-unbounded chain series.
+        profile = profile_from_record(RECORD)
+        exhaustive_max, idp_max = crossover_relations(profile, budget_ms=64.0)
+        # 16 ms per search -> star affords n = 12 (2^4 ms)
+        assert exhaustive_max == 12
+        assert idp_max >= exhaustive_max
+
+    def test_bigger_budget_never_lowers_limits(self):
+        profile = profile_from_record(RECORD)
+        previous = (0, 0)
+        for budget in (4.0, 40.0, 400.0, 4000.0):
+            limits = crossover_relations(profile, budget)
+            assert limits[0] >= previous[0]
+            assert limits[1] >= previous[1]
+            previous = limits
+
+    def test_static_fallbacks_without_profile(self):
+        assert crossover_relations(None) == (12, 40)
+        assert adaptive_block_size(None) == 8
+        assert adaptive_beam_width(None) == 8
+
+    def test_knobs_clamped_to_sane_ranges(self):
+        profile = profile_from_record(RECORD)
+        assert 4 <= adaptive_block_size(profile, 1.0) <= 14
+        assert 4 <= adaptive_block_size(profile, 1e9) <= 14
+        assert 2 <= adaptive_beam_width(profile, 1.0) <= 64
+        assert 2 <= adaptive_beam_width(profile, 1e9) <= 64
+
+    def test_load_profile_from_disk(self, tmp_path):
+        path = tmp_path / "record.json"
+        path.write_text(json.dumps(RECORD))
+        profile = load_scaling_profile(path)
+        assert profile is not None
+        assert profile.exhaustive_ms["star"][12] == 16.0
+        assert load_scaling_profile(tmp_path / "missing.json") is None
+
+    def test_corrupt_profile_is_none(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        assert load_scaling_profile(path) is None
+
+
+class TestPlannerKnobResolution:
+    def test_auto_knobs_resolve_to_ints(self):
+        catalog = large_join_catalog(star_query(4), seed=0)
+        planner = Planner(catalog, idp_block_size="auto", beam_width="auto")
+        assert isinstance(planner.idp_block_size, int)
+        assert planner.idp_block_size >= 4
+        assert isinstance(planner.beam_width, int)
+        assert planner.beam_width >= 2
+
+    def test_bad_knobs_rejected(self):
+        catalog = large_join_catalog(star_query(4), seed=0)
+        with pytest.raises(ValueError, match="idp_block_size"):
+            Planner(catalog, idp_block_size=0)
+        with pytest.raises(ValueError, match="beam_width"):
+            Planner(catalog, beam_width="wide")
+        with pytest.raises(ValueError, match="planning_budget_ms"):
+            Planner(catalog, planning_budget_ms=-5)
+
+
+class TestBudgetLadder:
+    def test_deadline_aborts_the_dp(self):
+        query = star_query(18)
+        stats = large_query_stats(query, seed=1)
+        with pytest.raises(PlanningBudgetExceeded):
+            # a deadline in the past must abort promptly
+            idp_order(query, stats, deadline=0.0)
+
+    def test_budgeted_plan_still_valid(self):
+        # An 18-relation star through optimizer="exhaustive" with a tiny
+        # budget: the ladder must fall back (IDP, then beam) and still
+        # produce a valid plan instead of hanging or raising.
+        query = star_query(18)
+        catalog = large_join_catalog(query, rows_per_relation=128, seed=2)
+        planner = Planner(catalog)
+        plan = planner.plan(query, mode="COM", optimizer="exhaustive",
+                            planning_budget_ms=20)
+        assert plan.query.is_valid_order(plan.order)
+
+    def test_generous_budget_matches_unbudgeted(self):
+        query = star_query(8)
+        catalog = large_join_catalog(query, rows_per_relation=128, seed=3)
+        planner = Planner(catalog)
+        unbudgeted = planner.plan(query, mode="COM", optimizer="exhaustive")
+        budgeted = planner.plan(query, mode="COM", optimizer="exhaustive",
+                                planning_budget_ms=60_000)
+        assert budgeted.order == unbudgeted.order
+        assert budgeted.predicted_cost == unbudgeted.predicted_cost
+
+    def test_budget_shifts_auto_resolution(self):
+        # with the measured profile a tight budget must never resolve to
+        # a *more* expensive algorithm than a generous one
+        ladder = {"exhaustive": 0, "idp": 1, "beam": 2}
+        tight = ladder[Planner.resolve_optimizer("auto", 14, 1.0)]
+        generous = ladder[Planner.resolve_optimizer("auto", 14, 60_000.0)]
+        assert tight >= generous
+
+    def test_session_budget_in_cache_key(self):
+        from repro.service import QuerySession
+
+        query = star_query(6)
+        catalog = large_join_catalog(query, rows_per_relation=64, seed=4)
+        session = QuerySession(catalog)
+        a = session.cache_key(query, planning_budget_ms=None)
+        b = session.cache_key(query, planning_budget_ms=5)
+        assert a != b

@@ -1,0 +1,122 @@
+"""Property test: the async service path is indistinguishable from the
+synchronous :class:`~repro.service.QuerySession`.
+
+For random acyclic queries over random data, N concurrent asyncio
+clients (optionally over a hash-partitioned layout, optionally with
+process-pool planning) must produce the same plans, the same result
+sets and the same probe counters as a plain synchronous session —
+admission-level parallelism is an implementation detail, never a
+semantic change.
+"""
+
+import asyncio
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import AsyncQueryService, QuerySession
+from repro.workloads.random_trees import random_join_tree
+
+from tests.helpers import result_tuples
+
+from .test_prop_engine import build_random_catalog
+
+CLIENTS = 6
+
+
+def _sync_reference(catalog, query, partitioning):
+    session = QuerySession(catalog, partitioning=partitioning)
+    report = session.execute(query, collect_output=True)
+    return report
+
+
+def _async_reports(catalog, query, partitioning, copies=CLIENTS,
+                   **service_kwargs):
+    async def go():
+        session = QuerySession(catalog, partitioning=partitioning)
+        async with AsyncQueryService(session, **service_kwargs) as service:
+            return await service.execute_many([query] * copies,
+                                              collect_output=True)
+
+    return asyncio.run(go())
+
+
+def _assert_equivalent(reports, reference, context):
+    expected = None
+    if reference.ok:
+        expected = result_tuples(reference.result, reference.plan.query)
+    for report in reports:
+        assert report.ok == reference.ok, (context, report.error)
+        assert report.timed_out == reference.timed_out, context
+        if not reference.ok:
+            continue
+        assert report.plan.order == reference.plan.order, context
+        assert report.plan.predicted_cost == \
+            reference.plan.predicted_cost, context
+        assert result_tuples(report.result, report.plan.query) == \
+            expected, context
+        ours, theirs = report.result.counters, reference.result.counters
+        assert ours.hash_probes == theirs.hash_probes, context
+        assert ours.hash_probes_by_relation == \
+            theirs.hash_probes_by_relation, context
+        assert ours.bitvector_probes == theirs.bitvector_probes, context
+        assert ours.semijoin_probes == theirs.semijoin_probes, context
+        assert ours.tuples_generated == theirs.tuples_generated, context
+
+
+@given(
+    tree_seed=st.integers(0, 5_000),
+    data_seed=st.integers(0, 5_000),
+)
+@settings(max_examples=10, deadline=None)
+def test_async_clients_match_sync_session(tree_seed, data_seed):
+    query = random_join_tree(max_nodes=5, seed=tree_seed)
+    catalog = build_random_catalog(query, data_seed)
+    for partitioning in ("off", 2):
+        reference = _sync_reference(catalog, query, partitioning)
+        reports = _async_reports(catalog, query, partitioning)
+        _assert_equivalent(reports, reference,
+                           (tree_seed, data_seed, partitioning))
+
+
+def test_async_process_pool_matches_sync_session():
+    # Fixed seeds (a process pool per hypothesis example would dominate
+    # the suite's runtime); planning forced through the worker pool.
+    for tree_seed, data_seed in ((11, 23), (47, 5), (301, 77)):
+        query = random_join_tree(max_nodes=5, seed=tree_seed)
+        catalog = build_random_catalog(query, data_seed)
+        reference = _sync_reference(catalog, query, "off")
+        reports = _async_reports(
+            catalog, query, "off",
+            planning_workers=1, process_min_relations=2,
+        )
+        _assert_equivalent(reports, reference, (tree_seed, data_seed))
+
+
+def test_async_distinct_queries_interleaved():
+    # Several *different* queries in flight at once: per-query plans and
+    # results must each match their own synchronous reference.
+    cases = []
+    for tree_seed, data_seed in ((3, 9), (101, 8), (555, 60)):
+        query = random_join_tree(max_nodes=5, seed=tree_seed)
+        catalog = build_random_catalog(query, data_seed)
+        cases.append((query, catalog,
+                      _sync_reference(catalog, query, "off")))
+
+    async def go():
+        sessions = [QuerySession(catalog, partitioning="off")
+                    for _, catalog, _ in cases]
+        services = [AsyncQueryService(session) for session in sessions]
+        try:
+            batches = await asyncio.gather(*(
+                service.execute_many([query] * 4, collect_output=True)
+                for service, (query, _, _) in zip(services, cases)
+            ))
+        finally:
+            for service in services:
+                service.close()
+        return batches
+
+    batches = asyncio.run(go())
+    for (query, _, reference), reports in zip(cases, batches):
+        _assert_equivalent(reports, reference, query)

@@ -240,3 +240,37 @@ def test_scaling_knobs_are_part_of_the_cache_key():
     b.planner.idp_block_size = 6
     b.plan(SIX_RELATION_SQL, optimizer="idp")
     assert b.plan_cache.stats.misses == 2
+
+
+def test_execute_many_isolates_mid_batch_failures(session):
+    """Regression: one bad query must never abort the rest of a batch."""
+    small = "select * from R1, R5 where R1.E = R5.E"
+    reports = session.execute_many([
+        small,
+        "select * frm broken",                        # parse error
+        "select * from Nope, R1 where Nope.X = R1.B",  # unknown table
+        SIX_RELATION_SQL,                              # budget overrun
+        small,
+    ], budgets=[50_000_000, 50_000_000, 50_000_000, 10, 50_000_000])
+    assert [report.ok for report in reports] == \
+        [True, False, False, False, True]
+    assert reports[1].error is not None and not reports[1].timed_out
+    assert reports[2].error is not None and not reports[2].timed_out
+    assert reports[3].timed_out and reports[3].error is None
+    # the good queries are full-fidelity reports, not placeholders
+    assert reports[0].result is not None
+    assert reports[4].cache_hit  # same query as reports[0]
+
+
+def test_budget_overrun_in_plan_phase_reports_timeout(session):
+    """A BudgetExceededError raised while the plan phase runs (e.g. a
+    prepared statement's rebind executing) is a timeout, not an error."""
+    from repro.engine import BudgetExceededError
+    from repro.service.session import _reported_run
+
+    def plan_phase():
+        raise BudgetExceededError("COM", "R2", 100, 10)
+
+    report = _reported_run("q", plan_phase, session=session)
+    assert report.timed_out and report.error is None
+    assert report.cache_stats is not None

@@ -80,3 +80,31 @@ def test_scaling_suite_covers_every_shape_and_size():
         assert set(stats.edge_stats) == set(query.non_root_relations)
         seen.add((shape, n))
     assert len(seen) == len(cases)  # no duplicated (shape, size) draws
+
+
+def test_large_join_catalog_backs_every_relation():
+    from repro.workloads.large_joins import large_join_catalog
+
+    query = random_tree_query(10, seed=4)
+    catalog = large_join_catalog(query, rows_per_relation=64, seed=4)
+    assert set(catalog.table_names) == set(query.relations)
+    for edge in query.edges:
+        parent = catalog.table(edge.parent)
+        child = catalog.table(edge.child)
+        assert edge.parent_attr in parent.column_names
+        assert edge.child_attr in child.column_names
+        assert len(parent) == 64 and len(child) == 64
+    # deterministic: same seed, same content
+    again = large_join_catalog(query, rows_per_relation=64, seed=4)
+    assert again.fingerprint() == catalog.fingerprint()
+
+
+def test_large_join_catalog_is_plannable_end_to_end():
+    from repro.planner import Planner
+    from repro.workloads.large_joins import large_join_catalog
+
+    query = chain_query(6)
+    catalog = large_join_catalog(query, rows_per_relation=64, seed=5)
+    plan = Planner(catalog).plan(query, mode="COM")
+    result = plan.execute(collect_output=True)
+    assert result.output_size >= 0
