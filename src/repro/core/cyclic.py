@@ -3,29 +3,61 @@
 The paper's techniques target acyclic queries; for cyclic ones it
 prescribes the standard practice of "choosing a spanning tree of the
 join graph" — the optimizer ignores the residual join predicates, and
-execution re-applies them as filters.  This module implements exactly
-that: :func:`spanning_tree_decomposition` splits a cyclic
-:class:`~repro.core.parser.ParsedQuery`'s join graph into a rooted
-:class:`~repro.core.query.JoinQuery` plus residual equality predicates,
-and :func:`execute_cyclic` evaluates the whole thing (tree join, then
-residual filtering on the flat result batches).
+execution re-applies them as filters.  This module makes that choice a
+first-class optimization problem instead of a greedy bolt-on:
+
+* :func:`spanning_tree_decomposition` keeps the historical greedy
+  Kruskal split (lowest-selectivity edges stay in the tree);
+* :func:`enumerate_spanning_trees` yields candidate trees in
+  approximately ascending tree-output order (best-first single-edge
+  exchanges from the minimum tree), which is what lets the planner
+  search spanning tree and join order *jointly*;
+* :func:`cyclic_directed_stats` measures ``(m, fo)`` for both probe
+  directions of every join predicate at once (the cyclic analogue of
+  :func:`repro.core.stats.directed_stats_from_data`), so every
+  candidate tree's :class:`~repro.core.stats.QueryStats` is assembled
+  with dictionary work;
+* :func:`residual_filter_cost` extends the cost model with the
+  residual-filter term, so trees are compared on *total* cost (tree
+  join + expansion + residual checks), not tree-join cost alone;
+* :func:`execute_cyclic` evaluates a (possibly cyclic) plan on any
+  catalog — including hash-partitioned ones: residual filters compare
+  values in base-row-id space via :meth:`~repro.storage.Table.gather`,
+  which PR 3's ``original_rows`` mapping makes layout-independent.
 """
 
 from __future__ import annotations
 
+import heapq
+import math
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..modes import ExecutionMode
 from .query import JoinEdge, JoinQuery
+from .stats import QueryStats, _measure_edge
 
 __all__ = [
     "ResidualPredicate",
     "CyclicPlan",
-    "spanning_tree_decomposition",
+    "cyclic_directed_stats",
+    "cyclic_signature",
+    "decompose",
+    "edge_pair_selectivity",
+    "enumerate_spanning_trees",
+    "exact_equal",
     "execute_cyclic",
+    "log_pair_weight",
+    "residual_filter_cost",
+    "spanning_tree_decomposition",
+    "stats_for_tree",
+    "tree_query_from_residuals",
 ]
+
+#: floor for log-space tree weights (a zero-selectivity edge would
+#: otherwise produce -inf and poison heap ordering)
+_MIN_SELECTIVITY = 1e-300
 
 
 @dataclass(frozen=True)
@@ -36,6 +68,11 @@ class ResidualPredicate:
     attr_a: str
     relation_b: str
     attr_b: str
+
+    @property
+    def key(self):
+        """The predicate as the parser's 4-tuple rendering."""
+        return (self.relation_a, self.attr_a, self.relation_b, self.attr_b)
 
     def __repr__(self):
         return (
@@ -55,6 +92,108 @@ class CyclicPlan:
     def is_cyclic(self):
         return bool(self.residuals)
 
+    def tree_signature(self):
+        """A stable, hashable signature of the resolved decomposition.
+
+        Covers the rooted tree (driver + directed edges) and the
+        residual predicates in canonical order — two decompositions
+        that picked the same tree produce the same signature no matter
+        how the candidates were enumerated.
+        """
+        return (
+            self.query.root,
+            tuple(sorted(
+                (edge.parent, edge.child, edge.parent_attr, edge.child_attr)
+                for edge in self.query.edges
+            )),
+            tuple(sorted(residual.key for residual in self.residuals)),
+        )
+
+
+# ----------------------------------------------------------------------
+# Graph structure helpers
+# ----------------------------------------------------------------------
+
+
+def _undirected_key(predicate):
+    """Canonical (direction-free) rendering of one join predicate."""
+    rel_a, attr_a, rel_b, attr_b = predicate
+    return tuple(sorted([(rel_a, attr_a), (rel_b, attr_b)]))
+
+
+def cyclic_signature(parsed):
+    """A rooting-free structural signature of a (cyclic) join graph.
+
+    The multiset of canonical undirected predicates — the analogue of
+    :func:`repro.core.stats.undirected_signature` for graphs that are
+    not trees.  Statistics caches key cyclic directed-stats entries on
+    it, so every candidate tree (and every rooting of every tree) of
+    one query shares a single derivation.
+    """
+    return tuple(sorted(_undirected_key(p) for p in parsed.join_predicates))
+
+
+def _rooted_tree(relations, tree_predicates, driver):
+    """Root an (acyclic, spanning) predicate subset at ``driver``."""
+    adjacency = {alias: [] for alias in relations}
+    for rel_a, attr_a, rel_b, attr_b in tree_predicates:
+        adjacency[rel_a].append((rel_b, attr_a, attr_b))
+        adjacency[rel_b].append((rel_a, attr_b, attr_a))
+    edges = []
+    visited = {driver}
+    stack = [driver]
+    while stack:
+        node = stack.pop()
+        for child, parent_attr, child_attr in adjacency[node]:
+            if child in visited:
+                continue
+            visited.add(child)
+            edges.append(JoinEdge(node, child, parent_attr, child_attr))
+            stack.append(child)
+    return JoinQuery(driver, edges)
+
+
+def decompose(parsed, tree_predicates, driver=None):
+    """A :class:`CyclicPlan` from an explicit spanning-tree choice.
+
+    ``tree_predicates`` is a subset of ``parsed.join_predicates``
+    forming a spanning tree; everything else becomes a residual filter
+    (multiset semantics, so parallel predicates between one relation
+    pair split correctly between tree and residuals).
+    """
+    relations = list(parsed.relations)
+    if driver is None:
+        driver = relations[0]
+    remaining = list(parsed.join_predicates)
+    for predicate in tree_predicates:
+        remaining.remove(tuple(predicate))
+    residuals = [ResidualPredicate(*predicate) for predicate in remaining]
+    return CyclicPlan(
+        query=_rooted_tree(relations, tree_predicates, driver),
+        residuals=residuals,
+    )
+
+
+def tree_query_from_residuals(parsed, residuals, driver):
+    """Rebuild the rooted spanning tree a plan was optimized with.
+
+    The inverse of recording only the residuals (e.g. in a picklable
+    :class:`~repro.planner.PlanSpec`): the tree is the query's
+    predicate multiset minus the residual predicates, rooted at the
+    plan's driver.
+    """
+    remaining = list(parsed.join_predicates)
+    for residual in residuals:
+        key = residual.key if isinstance(residual, ResidualPredicate) \
+            else tuple(residual)
+        remaining.remove(key)
+    return _rooted_tree(list(parsed.relations), remaining, driver)
+
+
+# ----------------------------------------------------------------------
+# Spanning-tree choice
+# ----------------------------------------------------------------------
+
 
 def _edge_weight(edge_key, stats_hint):
     """Lower weight = keep in the tree.
@@ -73,19 +212,8 @@ def _edge_weight(edge_key, stats_hint):
     return 1.0
 
 
-def spanning_tree_decomposition(parsed, driver=None, stats_hint=None):
-    """Choose a spanning tree of the join graph; rest become residuals.
-
-    Kruskal over the join predicates, keeping the lowest-selectivity
-    (most reducing) edges in the tree.  The returned
-    :class:`CyclicPlan` contains a rooted join query and the residual
-    predicates.  Works for acyclic inputs too (no residuals).
-    """
-    relations = list(parsed.relations)
-    if not relations:
-        raise ValueError("query has no relations")
-    if not parsed.is_connected():
-        raise ValueError("join graph is disconnected")
+def _kruskal(relations, predicates, weights):
+    """Indices of the minimum-weight spanning tree (deterministic ties)."""
     parent = {alias: alias for alias in relations}
 
     def find(x):
@@ -95,55 +223,350 @@ def spanning_tree_decomposition(parsed, driver=None, stats_hint=None):
         return x
 
     ordered = sorted(
-        parsed.join_predicates,
-        key=lambda edge: (_edge_weight(edge, stats_hint), edge),
+        range(len(predicates)),
+        key=lambda i: (weights[i], predicates[i]),
     )
-    tree_edges, residuals = [], []
-    for rel_a, attr_a, rel_b, attr_b in ordered:
+    tree = []
+    for index in ordered:
+        rel_a, _, rel_b, _ = predicates[index]
         root_a, root_b = find(rel_a), find(rel_b)
-        if root_a == root_b:
-            residuals.append(
-                ResidualPredicate(rel_a, attr_a, rel_b, attr_b)
-            )
-        else:
+        if root_a != root_b:
             parent[root_a] = root_b
-            tree_edges.append((rel_a, attr_a, rel_b, attr_b))
+            tree.append(index)
+    if len(tree) != len(relations) - 1:
+        raise ValueError("join graph is disconnected")
+    return tree
 
-    if driver is None:
-        driver = relations[0]
-    adjacency = {alias: [] for alias in relations}
-    for rel_a, attr_a, rel_b, attr_b in tree_edges:
-        adjacency[rel_a].append((rel_b, attr_a, attr_b))
-        adjacency[rel_b].append((rel_a, attr_b, attr_a))
-    edges = []
-    visited = {driver}
-    stack = [driver]
+
+def _tree_adjacency(predicates, tree):
+    """Adjacency map of a tree's edges: relation -> [(neighbor, index)]."""
+    adjacency = {}
+    for index in tree:
+        rel_a, _, rel_b, _ = predicates[index]
+        adjacency.setdefault(rel_a, []).append((rel_b, index))
+        adjacency.setdefault(rel_b, []).append((rel_a, index))
+    return adjacency
+
+
+def _tree_path_edges(adjacency, start, goal):
+    """Edge indices on the unique tree path between two relations."""
+    via = {start: None}
+    stack = [start]
     while stack:
         node = stack.pop()
-        for child, parent_attr, child_attr in adjacency[node]:
-            if child in visited:
+        if node == goal:
+            break
+        for neighbor, index in adjacency.get(node, []):
+            if neighbor in via:
                 continue
-            visited.add(child)
-            edges.append(JoinEdge(node, child, parent_attr, child_attr))
-            stack.append(child)
-    return CyclicPlan(query=JoinQuery(driver, edges), residuals=residuals)
+            via[neighbor] = (node, index)
+            stack.append(neighbor)
+    path = []
+    node = goal
+    while via[node] is not None:
+        node, index = via[node]
+        path.append(index)
+    return path
 
 
-def apply_residuals(catalog, residuals, rows_by_relation):
-    """Filter flat result rows by the residual equality predicates."""
-    if not rows_by_relation:
-        return rows_by_relation
-    n = len(next(iter(rows_by_relation.values())))
-    keep = np.ones(n, dtype=bool)
+def enumerate_spanning_trees(relations, predicates, weights,
+                             max_trees=None, neighbors_per_tree=64):
+    """Yield spanning trees in approximately ascending total weight.
+
+    ``predicates`` are the parser's 4-tuples, ``weights`` an aligned
+    list of additive edge weights (the planner passes per-edge
+    log-selectivities, so a tree's total weight orders candidates by
+    estimated tree-join output).  Each yielded tree is a sorted tuple
+    of predicate *indices*; the first is always the Kruskal minimum —
+    the greedy baseline — so a search over this stream can only match
+    or beat greedy.
+
+    Enumeration is best-first over single-edge exchanges (remove one
+    tree edge on the cycle a non-tree edge closes, insert that edge);
+    the exchange graph of spanning trees is connected, so with an
+    unbounded ``neighbors_per_tree`` every spanning tree is eventually
+    produced.  Dense graphs generate O(E·n) neighbors per tree, so only
+    the ``neighbors_per_tree`` lowest-weight exchanges are queued per
+    popped tree — a pruning of the candidate *stream*, never of the
+    incumbent comparison the caller performs.
+    """
+    if len(relations) < 2:
+        raise ValueError("a join graph needs at least two relations")
+    start = frozenset(_kruskal(relations, predicates, weights))
+    counter = 0
+    heap = [(sum(weights[i] for i in start), counter, start)]
+    seen = {start}
+    yielded = 0
+    while heap:
+        total, _, tree = heapq.heappop(heap)
+        yield tuple(sorted(tree))
+        yielded += 1
+        if max_trees is not None and yielded >= max_trees:
+            return
+        adjacency = _tree_adjacency(predicates, tree)
+        swaps = []
+        for index in range(len(predicates)):
+            if index in tree:
+                continue
+            rel_a, _, rel_b, _ = predicates[index]
+            for removed in _tree_path_edges(adjacency, rel_a, rel_b):
+                swaps.append((weights[index] - weights[removed],
+                              index, removed))
+        swaps.sort()
+        for delta, added, removed in swaps[:neighbors_per_tree]:
+            neighbor = tree - {removed} | {added}
+            if neighbor in seen:
+                continue
+            seen.add(neighbor)
+            counter += 1
+            heapq.heappush(heap, (total + delta, counter, neighbor))
+
+
+def spanning_tree_decomposition(parsed, driver=None, stats_hint=None):
+    """Choose a spanning tree of the join graph; rest become residuals.
+
+    Kruskal over the join predicates, keeping the lowest-selectivity
+    (most reducing) edges in the tree.  The returned
+    :class:`CyclicPlan` contains a rooted join query and the residual
+    predicates.  Works for acyclic inputs too (no residuals).
+
+    This is the *greedy* baseline; the planner's joint search
+    (:meth:`repro.planner.Planner.plan` on a cyclic query) additionally
+    compares alternative trees on total cost.
+    """
+    relations = list(parsed.relations)
+    if not relations:
+        raise ValueError("query has no relations")
+    if not parsed.is_connected():
+        raise ValueError("join graph is disconnected")
+    predicates = list(parsed.join_predicates)
+    weights = [_edge_weight(predicate, stats_hint)
+               for predicate in predicates]
+    if len(relations) == 1:
+        return CyclicPlan(query=JoinQuery(relations[0], []), residuals=[])
+    tree = _kruskal(relations, predicates, weights)
+    return decompose(parsed, [predicates[i] for i in tree], driver)
+
+
+# ----------------------------------------------------------------------
+# Statistics for tree candidates
+# ----------------------------------------------------------------------
+
+
+def cyclic_directed_stats(catalog, parsed):
+    """Measure ``(m, fo)`` for both directions of every join predicate.
+
+    Returns ``(directed, sizes)`` where ``directed`` maps the full
+    directed predicate ``(parent, parent_attr, child, child_attr)`` to
+    :class:`~repro.core.stats.EdgeStats` — keys carry the attributes so
+    parallel predicates between one relation pair stay distinct —
+    and ``sizes`` maps alias to cardinality.  One O(predicates)
+    measurement pass covers every candidate spanning tree *and* every
+    rooting of each tree, plus the residual selectivities; candidate
+    stats are then assembled by :func:`stats_for_tree` with dictionary
+    work, exactly like the acyclic driver search's
+    :func:`~repro.core.stats.directed_stats_from_data`.
+    """
+    directed = {}
+    for rel_a, attr_a, rel_b, attr_b in parsed.join_predicates:
+        if (rel_a, attr_a, rel_b, attr_b) in directed:
+            continue  # duplicate predicate: same measurement
+        directed[(rel_a, attr_a, rel_b, attr_b)] = _measure_edge(
+            catalog, rel_a, attr_a, rel_b, attr_b
+        )
+        directed[(rel_b, attr_b, rel_a, attr_a)] = _measure_edge(
+            catalog, rel_b, attr_b, rel_a, attr_a
+        )
+    sizes = {alias: len(catalog.table(alias)) for alias in parsed.relations}
+    return directed, sizes
+
+
+def stats_for_tree(rooted, directed, sizes):
+    """Assemble a candidate tree's :class:`QueryStats`.
+
+    ``directed`` / ``sizes`` come from :func:`cyclic_directed_stats`;
+    pure dictionary work — no data access per candidate.
+    """
+    edge_stats = {
+        edge.child: directed[
+            (edge.parent, edge.parent_attr, edge.child, edge.child_attr)
+        ]
+        for edge in rooted.edges
+    }
+    return QueryStats(sizes[rooted.root], edge_stats, relation_sizes=sizes)
+
+
+def edge_pair_selectivity(directed, sizes, predicate):
+    """P(two independent tuples satisfy the predicate).
+
+    For predicate ``a.x = b.y`` this is ``matching pairs / (|a|·|b|)``
+    = ``m·fo / |b|`` in either probe direction.  It is the quantity
+    that makes tree comparison rooting-free: a tree's expected join
+    output is ``prod(|R|) · prod(pair selectivities over tree edges)``
+    for *every* rooting, so candidate trees are ranked by the product
+    of their edges' pair selectivities.
+    """
+    rel_a, attr_a, rel_b, attr_b = predicate
+    stats = directed[(rel_a, attr_a, rel_b, attr_b)]
+    size_b = sizes.get(rel_b, 0.0)
+    if not size_b:
+        return 0.0
+    return stats.m * stats.fo / float(size_b)
+
+
+def log_pair_weight(selectivity):
+    """Additive tree-enumeration weight for one edge's pair selectivity."""
+    return math.log(max(selectivity, _MIN_SELECTIVITY))
+
+
+def residual_filter_cost(expected_input, selectivities, weights):
+    """Expected weighted cost of the residual-filter stage.
+
+    ``expected_input`` is the tree join's expected flat output;
+    ``selectivities`` the residual filters' estimated selectivities in
+    the order they will be applied (the planner sorts ascending —
+    most-reducing first — and execution applies the same order).  Each
+    check is one vectorized key comparison per surviving tuple, priced
+    like a semi-join probe; filters are progressive, so filter ``i``
+    only sees the tuples the first ``i - 1`` filters kept.  This term
+    is what lets the planner compare candidate trees on *total* cost:
+    a tree with a slightly larger join output can still win when its
+    residuals are cheap, and vice versa.
+    """
+    cost = 0.0
+    alive = float(expected_input)
+    for selectivity in selectivities:
+        cost += alive * weights.semijoin_probe
+        alive *= selectivity
+    return cost
+
+
+# ----------------------------------------------------------------------
+# Residual filtering (execution)
+# ----------------------------------------------------------------------
+
+
+def exact_equal(values_a, values_b):
+    """Elementwise equality with exact numeric-key semantics.
+
+    The residual analogue of PR 3's partitioned-probe key handling:
+
+    * integer vs integer compares exactly (no upcast);
+    * integer vs float matches only where the float is finite and
+      exactly integral, compared in integer space — so two huge int64
+      keys (or an int and a float) that would collide after a lossy
+      float64 upcast (magnitudes at or beyond ``2**53``) never
+      spuriously match;
+    * NaN equals nothing (same as a hash-index probe of an absent key);
+    * any other dtype combination falls back to plain ``==``.
+    """
+    values_a = np.asarray(values_a)
+    values_b = np.asarray(values_b)
+    if values_a.dtype == bool:
+        values_a = values_a.astype(np.int64)
+    if values_b.dtype == bool:
+        values_b = values_b.astype(np.int64)
+    a_int = np.issubdtype(values_a.dtype, np.integer)
+    b_int = np.issubdtype(values_b.dtype, np.integer)
+    if a_int and b_int:
+        return values_a == values_b
+    a_float = np.issubdtype(values_a.dtype, np.floating)
+    b_float = np.issubdtype(values_b.dtype, np.floating)
+    if a_int != b_int and (a_float or b_float):
+        ints, floats = (values_a, values_b) if a_int else (values_b, values_a)
+        out = np.zeros(len(ints), dtype=bool)
+        # int64-convertible: finite and inside [-2**63, 2**63) — the
+        # bound is exact in float64, and anything outside it cannot
+        # equal an int64 key anyway
+        convertible = np.flatnonzero(
+            np.isfinite(floats)
+            & (floats >= float(-(2 ** 63)))
+            & (floats < float(2 ** 63))
+        )
+        if len(convertible):
+            as_int = floats[convertible].astype(np.int64)
+            integral = as_int.astype(floats.dtype) == floats[convertible]
+            positions = convertible[integral]
+            out[positions] = ints[positions] == as_int[integral]
+        return out
+    with np.errstate(invalid="ignore"):
+        return values_a == values_b
+
+
+def _base_values(catalog, relation, attr, rows):
+    """Column values for *base* row ids (layout-independent).
+
+    ``gather`` translates base ids through a
+    :class:`~repro.storage.partition.PartitionedTable`'s physical
+    permutation (and is the identity for ordinary tables), which is
+    what lets residual filters run against hash-partitioned catalogs.
+    """
+    return catalog.table(relation).gather(rows, columns=[attr])[attr]
+
+
+def _filter_batch(catalog, residuals, batch, counters=None, collect=True):
+    """Apply the residual filters to one flat batch of base row ids.
+
+    Filters are progressive: each predicate is evaluated only on the
+    rows every earlier predicate kept (matching the cost model's
+    accounting, and identical across batch splits since surviving
+    counts are additive).  Returns ``(survivors, filtered_rows)``;
+    ``filtered_rows`` is ``None`` unless ``collect`` — counting a
+    result must not materialize it.
+    """
+    if not batch:
+        return 0, ({} if collect else None)
+    keep = None
     for predicate in residuals:
-        values_a = catalog.table(predicate.relation_a).column(
-            predicate.attr_a
-        )[rows_by_relation[predicate.relation_a]]
-        values_b = catalog.table(predicate.relation_b).column(
-            predicate.attr_b
-        )[rows_by_relation[predicate.relation_b]]
-        keep &= values_a == values_b
-    return {rel: rows[keep] for rel, rows in rows_by_relation.items()}
+        rows_a = batch[predicate.relation_a]
+        rows_b = batch[predicate.relation_b]
+        if keep is not None:
+            rows_a = rows_a[keep]
+            rows_b = rows_b[keep]
+        if counters is not None:
+            counters.residual_checks += len(rows_a)
+        match = exact_equal(
+            _base_values(catalog, predicate.relation_a, predicate.attr_a,
+                         rows_a),
+            _base_values(catalog, predicate.relation_b, predicate.attr_b,
+                         rows_b),
+        )
+        keep = np.flatnonzero(match) if keep is None else keep[match]
+    if keep is None:
+        count = len(next(iter(batch.values())))
+        return count, (dict(batch) if collect else None)
+    if not collect:
+        return len(keep), None
+    return len(keep), {rel: rows[keep] for rel, rows in batch.items()}
+
+
+def apply_residuals(catalog, residuals, rows_by_relation, counters=None):
+    """Filter flat result rows (base row ids) by the residual predicates.
+
+    Progressive and exact (:func:`exact_equal`); ``counters``
+    optionally accumulates the per-filter comparison counts into
+    :attr:`~repro.engine.executor.ExecutionCounters.residual_checks`.
+    """
+    _, filtered = _filter_batch(catalog, residuals, rows_by_relation,
+                                counters=counters, collect=True)
+    return filtered
+
+
+def _row_batches(rows_by_relation, batch_rows):
+    """Slice a flat row frame into zero-copy row-range batches."""
+    if not rows_by_relation:
+        return
+    n = len(next(iter(rows_by_relation.values())))
+    for start in range(0, n, batch_rows):
+        yield {
+            rel: rows[start:start + batch_rows]
+            for rel, rows in rows_by_relation.items()
+        }
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
 
 
 def execute_cyclic(
@@ -154,31 +577,35 @@ def execute_cyclic(
     collect_output=False,
     expansion_batch=8192,
     max_intermediate_tuples=50_000_000,
+    child_orders=None,
 ):
     """Evaluate a (possibly cyclic) plan: tree join + residual filters.
 
     Returns ``(output_size, execution_result, output_rows)``; the
-    execution result carries the tree-join counters.  Residual
+    execution result carries the tree-join counters plus
+    ``residual_checks`` / ``residual_input_tuples``.  Residual
     filtering happens batch-at-a-time on the flat result, so cyclic
     evaluation always pays the expansion (there is no factorized output
     for cyclic queries — residual predicates break factorization).
+
+    Both pipeline families account the residual stage identically: the
+    pre-filter expanded tuples are counted as ``tuples_generated``
+    exactly once (the flat pipeline materializes them at its last join;
+    the factorized pipeline counts the expansion step, same as an
+    acyclic ``flat_output`` run), and each residual comparison bumps
+    ``residual_checks``.  Works on hash-partitioned catalogs: engine
+    results report base row ids, and residual values are gathered in
+    base-row-id space.
     """
-    from ..engine.executor import execute
-    from ..storage.partition import PartitionedTable
+    from ..engine.executor import BudgetExceededError, execute
 
     mode = ExecutionMode(mode)
     query = plan.query
-    for relation in query.relations:
-        if isinstance(catalog.table(relation), PartitionedTable):
-            raise ValueError(
-                "cyclic evaluation requires an unpartitioned catalog: "
-                f"relation {relation!r} is hash-partitioned and residual "
-                "filters would mix base and physical row ids"
-            )
     if not plan.residuals:
         result = execute(
             catalog, query, order, mode,
             flat_output=True, collect_output=collect_output,
+            child_orders=child_orders,
             expansion_batch=expansion_batch,
             max_intermediate_tuples=max_intermediate_tuples,
         )
@@ -189,30 +616,46 @@ def execute_cyclic(
         result = execute(
             catalog, query, order, mode,
             flat_output=False, collect_output=False,
+            child_orders=child_orders,
             max_intermediate_tuples=max_intermediate_tuples,
         )
-        total = 0
-        collected = [] if collect_output else None
-        for batch in result.factorized.expand(
+        pre_filter = result.output_size
+        if pre_filter > max_intermediate_tuples:
+            raise BudgetExceededError(
+                str(mode), "<expansion>", pre_filter, max_intermediate_tuples
+            )
+        # Same accounting as the acyclic expansion step: every expanded
+        # (pre-filter) tuple is generated work.
+        result.counters.tuples_generated += pre_filter
+        batches = result.factorized.expand(
             batch_entries=expansion_batch, max_rows=4_000_000
-        ):
-            filtered = apply_residuals(catalog, plan.residuals, batch)
-            batch_size = len(next(iter(filtered.values())))
-            total += batch_size
-            result.counters.tuples_generated += batch_size
-            if collected is not None and batch_size:
-                collected.append(filtered)
+        )
     else:
+        # Flat pipelines materialize the full frame at their last join
+        # regardless (and count it as tuples_generated there); the
+        # residual stage then filters row-range views batch-at-a-time
+        # instead of materializing a filtered copy just to count.
         result = execute(
             catalog, query, order, mode,
             flat_output=True, collect_output=True,
+            child_orders=child_orders,
             expansion_batch=expansion_batch,
             max_intermediate_tuples=max_intermediate_tuples,
         )
-        filtered = apply_residuals(catalog, plan.residuals,
-                                   result.output_rows)
-        total = len(next(iter(filtered.values()))) if filtered else 0
-        collected = [filtered] if collect_output else None
+        pre_filter = result.output_size
+        batches = _row_batches(result.output_rows or {}, expansion_batch)
+
+    result.counters.residual_input_tuples += pre_filter
+    total = 0
+    collected = [] if collect_output else None
+    for batch in batches:
+        batch_size, filtered = _filter_batch(
+            catalog, plan.residuals, batch,
+            counters=result.counters, collect=collect_output,
+        )
+        total += batch_size
+        if collected is not None and batch_size:
+            collected.append(filtered)
 
     output_rows = None
     if collect_output:
@@ -226,4 +669,5 @@ def execute_cyclic(
                 rel: np.empty(0, dtype=np.int64) for rel in query.relations
             }
     result.output_size = total
+    result.output_rows = output_rows
     return total, result, output_rows

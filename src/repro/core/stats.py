@@ -197,6 +197,18 @@ class StatsCache:
                f"directed:{method}")
         return self._cache.get_or_compute(key, derive)
 
+    def get_or_derive_signature(self, data_token, signature, method, derive):
+        """Cache an arbitrary derivation under a precomputed signature.
+
+        For query shapes :func:`query_signature` cannot describe — the
+        planner's cyclic path keys its direction-complete predicate
+        statistics on :func:`repro.core.cyclic.cyclic_signature`, so
+        every candidate spanning tree (and every rooting of each)
+        shares one derivation.
+        """
+        key = (data_token, signature, str(method))
+        return self._cache.get_or_compute(key, derive)
+
     def clear(self):
         self._cache.clear()
 

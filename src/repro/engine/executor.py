@@ -60,6 +60,13 @@ class ExecutionCounters:
     bitvector_probes: int = 0
     semijoin_probes: int = 0
     tuples_generated: int = 0
+    #: residual-filter key comparisons (cyclic plans only; progressive,
+    #: so filter k only counts the tuples filters 1..k-1 kept)
+    residual_checks: int = 0
+    #: flat tuples that entered the residual-filter stage (cyclic plans
+    #: only) — the observed residual selectivity is
+    #: ``output_size / residual_input_tuples``
+    residual_input_tuples: int = 0
     hash_probes_by_relation: dict = field(default_factory=dict)
 
     def count_hash_probes(self, relation, probes):
@@ -73,7 +80,11 @@ class ExecutionCounters:
         return (
             weights.hash_probe * self.hash_probes
             + weights.bitvector_probe * self.bitvector_probes
-            + weights.semijoin_probe * self.semijoin_probes
+            # residual checks are one vectorized key comparison each —
+            # priced like a semi-join probe, matching the planner's
+            # residual_filter_cost term
+            + weights.semijoin_probe
+            * (self.semijoin_probes + self.residual_checks)
             + weights.tuple_generation * self.tuples_generated
         )
 

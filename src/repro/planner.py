@@ -17,6 +17,7 @@ it:
 
 from __future__ import annotations
 
+import hashlib
 import os
 import time
 from dataclasses import dataclass, field
@@ -34,6 +35,20 @@ from .core.costmodel import (
     CostWeights,
     expected_output_size,
     plan_cost,
+)
+from .core.cyclic import (
+    CyclicPlan,
+    ResidualPredicate,
+    _rooted_tree,
+    cyclic_directed_stats,
+    cyclic_signature,
+    edge_pair_selectivity,
+    enumerate_spanning_trees,
+    execute_cyclic,
+    log_pair_weight,
+    residual_filter_cost,
+    stats_for_tree,
+    tree_query_from_residuals,
 )
 from .core.lru import LRUCache
 from .core.optimizer import (
@@ -131,7 +146,15 @@ def push_down_selections(catalog, parsed):
 
 @dataclass
 class PhysicalPlan:
-    """An optimized, executable plan."""
+    """An optimized, executable plan.
+
+    For a cyclic query, :attr:`query` is the spanning tree the joint
+    search selected and :attr:`residuals` the join predicates left for
+    residual filtering (applied in this exact order — ascending
+    estimated selectivity); :attr:`predicted_cost` then includes the
+    residual-filter term, so cyclic plans are comparable on the same
+    scale as acyclic ones.
+    """
 
     catalog: Catalog
     query: JoinQuery
@@ -143,10 +166,35 @@ class PhysicalPlan:
     weights: CostWeights = field(default_factory=CostWeights)
     #: resolved hash-shard fan-out of the plan's catalog (1 = off)
     num_shards: int = 1
+    #: residual predicates of a cyclic plan, in application order
+    residuals: tuple = ()
+    #: estimated selectivity per residual (aligned with :attr:`residuals`)
+    residual_selectivities: tuple = ()
+
+    @property
+    def is_cyclic(self):
+        return bool(self.residuals)
 
     def execute(self, flat_output=True, collect_output=False,
                 max_intermediate_tuples=50_000_000):
-        """Run the plan on the engine."""
+        """Run the plan on the engine.
+
+        Cyclic plans route through
+        :func:`~repro.core.cyclic.execute_cyclic` (tree join + residual
+        filters); their output is always flat — residual predicates
+        break factorization, so ``flat_output`` is moot for them.
+        """
+        if self.residuals:
+            _, result, _ = execute_cyclic(
+                self.catalog,
+                CyclicPlan(self.query, list(self.residuals)),
+                mode=self.mode,
+                order=self.order,
+                collect_output=collect_output,
+                max_intermediate_tuples=max_intermediate_tuples,
+                child_orders=self.child_orders or None,
+            )
+            return result
         return execute(
             self.catalog,
             self.query,
@@ -157,6 +205,34 @@ class PhysicalPlan:
             child_orders=self.child_orders or None,
             max_intermediate_tuples=max_intermediate_tuples,
         )
+
+    def fingerprint(self):
+        """A stable content digest of the resolved plan (hex string).
+
+        Covers everything the optimizer decided — driver, tree edges,
+        join order, mode, semi-join child orders, residuals, shard
+        fan-out — plus the catalog content it was planned against, so
+        two planning passes that resolved identically (e.g. a cache hit
+        and the plan it was seeded from, or a worker-planned spec and
+        its rehydration) fingerprint identically.
+        """
+        payload = repr((
+            self.query.root,
+            tuple(sorted(
+                (edge.parent, edge.child, edge.parent_attr, edge.child_attr)
+                for edge in self.query.edges
+            )),
+            tuple(self.order),
+            str(self.mode),
+            tuple(sorted(
+                (relation, tuple(children))
+                for relation, children in (self.child_orders or {}).items()
+            )),
+            tuple(residual.key for residual in self.residuals),
+            self.num_shards,
+            self.catalog.fingerprint(),
+        ))
+        return hashlib.blake2b(payload.encode(), digest_size=16).hexdigest()
 
     def explain(self):
         """A human-readable plan tree with per-join statistics."""
@@ -185,6 +261,17 @@ class PhysicalPlan:
             )
         if self.child_orders:
             lines.append(f"  semi-join child orders: {self.child_orders}")
+        for residual, selectivity in zip(
+            self.residuals,
+            self.residual_selectivities or [None] * len(self.residuals),
+        ):
+            estimated = (
+                f"  [s={selectivity:.4g}]" if selectivity is not None else ""
+            )
+            lines.append(
+                f"  RESIDUAL {residual.relation_a}.{residual.attr_a} = "
+                f"{residual.relation_b}.{residual.attr_b}{estimated}"
+            )
         return "\n".join(lines)
 
     def to_spec(self, catalog_fingerprint):
@@ -207,12 +294,17 @@ class PhysicalPlan:
             weights=self.weights,
             num_shards=self.num_shards,
             catalog_fingerprint=catalog_fingerprint,
+            residuals=tuple(self.residuals),
+            residual_selectivities=tuple(self.residual_selectivities),
         )
 
     def __repr__(self):
+        residuals = (
+            f", residuals={len(self.residuals)}" if self.residuals else ""
+        )
         return (
             f"PhysicalPlan(mode={self.mode}, driver={self.query.root!r}, "
-            f"order={self.order}, cost={self.predicted_cost:.4g})"
+            f"order={self.order}, cost={self.predicted_cost:.4g}{residuals})"
         )
 
 
@@ -232,6 +324,13 @@ class PlanSpec:
     ``catalog_fingerprint`` pins the spec to the base-catalog content it
     was planned for: rehydration refuses a spec whose fingerprint no
     longer matches, exactly like the plan cache misses on data changes.
+
+    For a cyclic query the spec additionally ships the ``residuals``
+    (picklable :class:`~repro.core.cyclic.ResidualPredicate` tuples, in
+    application order): together with ``root`` they identify the
+    resolved spanning tree — rehydration reconstructs it as the query's
+    predicate multiset minus the residuals
+    (:func:`~repro.core.cyclic.tree_query_from_residuals`).
     """
 
     root: str
@@ -243,11 +342,17 @@ class PlanSpec:
     weights: CostWeights
     num_shards: int
     catalog_fingerprint: str
+    residuals: tuple = ()
+    residual_selectivities: tuple = ()
 
     def __repr__(self):
+        residuals = (
+            f", residuals={len(self.residuals)}" if self.residuals else ""
+        )
         return (
             f"PlanSpec(driver={self.root!r}, mode={self.mode}, "
-            f"order={list(self.order)}, cost={self.predicted_cost:.4g})"
+            f"order={list(self.order)}, "
+            f"cost={self.predicted_cost:.4g}{residuals})"
         )
 
 
@@ -257,6 +362,8 @@ class _PreparedQuery:
 
     #: the parsed query (or the JoinQuery as given)
     query: object
+    #: the rooted join tree — ``None`` for a cyclic query, whose tree
+    #: the joint search chooses (partitioning is deferred until then)
     join_query: JoinQuery
     #: execution catalog: selections pushed down, partitioning applied
     catalog: Catalog
@@ -266,6 +373,13 @@ class _PreparedQuery:
     data_token: tuple = None
     #: resolved hash-shard fan-out of :attr:`catalog` (1 = off)
     effective_shards: int = 1
+    #: push-down catalog before any partitioning (re-partition source)
+    source_catalog: Catalog = None
+    #: resolved shard count / size floor / content token, kept so the
+    #: cyclic path can partition once its winning tree is known
+    num_shards: int = 1
+    partition_floor: int = 0
+    content_token: tuple = None
 
 
 class Planner:
@@ -313,6 +427,14 @@ class Planner:
         shard-by-shard.  Plans, predicted costs and result sets are
         identical across shard counts; only wall time changes.
         Overridable per :meth:`plan` call.
+    max_spanning_trees:
+        Cap on the candidate spanning trees the *joint* cyclic search
+        evaluates (``tree_search="joint"``).  Candidates stream in
+        approximately ascending tree-output order starting from the
+        greedy Kruskal tree, each branch-and-bound pruned against the
+        incumbent total cost, so raising the cap only ever matches or
+        improves the chosen plan at more planning time.  Part of the
+        service layer's plan-cache key.
     """
 
     #: optimizer choices exposed to ``plan()`` — ``"auto"`` resolves by
@@ -322,7 +444,7 @@ class Planner:
 
     def __init__(self, catalog, weights=None, eps=0.01, stats_cache=None,
                  idp_block_size=8, beam_width=8, planning_budget_ms=None,
-                 partitioning="off"):
+                 partitioning="off", max_spanning_trees=16):
         self.catalog = catalog
         self.weights = weights or CostWeights()
         self.eps = eps
@@ -343,6 +465,14 @@ class Planner:
             "beam_width", beam_width, adaptive_beam_width, planning_budget_ms,
         )
         self.partitioning = self._check_partitioning(partitioning)
+        if not isinstance(max_spanning_trees, int) \
+                or isinstance(max_spanning_trees, bool) \
+                or max_spanning_trees < 1:
+            raise ValueError(
+                f"max_spanning_trees must be an int >= 1, "
+                f"got {max_spanning_trees!r}"
+            )
+        self.max_spanning_trees = max_spanning_trees
         # Two levels of content-addressed partitioning reuse: whole
         # derived catalogs (so exact-repeat plan() calls share built
         # sharded indexes) and the re-clustered replacement tables
@@ -607,7 +737,59 @@ class Planner:
                          flat_output=flat_output,
                          memo=memo).total(self.weights)
 
-    def _prepare(self, query, partitioning, stats="exact"):
+    def _apply_partitioning(self, query, source_catalog, join_query,
+                            num_shards, partition_floor, content_token):
+        """``(execution catalog, effective shards)`` for a rooted tree.
+
+        The content-addressed partitioning step shared by
+        :meth:`_prepare` (acyclic queries, whose tree is the query) and
+        the cyclic joint search (which partitions once its winning tree
+        is known): re-clustered replacement tables are keyed only on
+        the partitioned relations' content, whole derived catalogs on
+        the full content token, so exact repeats reuse built sharded
+        indexes and near-repeats reuse the expensive re-clustering.
+        """
+        if num_shards <= 1:
+            return source_catalog, 1
+        shard_spec = tuple(sorted(
+            (edge.child, edge.child_attr) for edge in join_query.edges
+        ))
+        children = {edge.child for edge in join_query.edges}
+        if isinstance(query, ParsedQuery):
+            # only the partitioned relations' identity + selections:
+            # a literal on the driver must not force a re-cluster
+            child_token = (
+                tuple(sorted(
+                    (alias, table_name)
+                    for alias, table_name in query.relations.items()
+                    if alias in children
+                )),
+                tuple(sorted(
+                    (alias, column, literal)
+                    for alias, predicate in query.selections.items()
+                    if alias in children
+                    for column, literal in predicate.items()
+                )),
+            )
+        else:
+            child_token = ()
+        replacements = self._replacement_cache.get_or_compute(
+            (self.catalog.fingerprint(), child_token, shard_spec,
+             num_shards, partition_floor),
+            lambda: partition_replacements(
+                source_catalog, join_query, num_shards,
+                min_rows=partition_floor,
+            ),
+        )
+        if not replacements:
+            return source_catalog, 1
+        catalog = self._partition_cache.get_or_compute(
+            content_token + (shard_spec, num_shards, partition_floor),
+            lambda: source_catalog.derived_with(replacements),
+        )
+        return catalog, num_shards
+
+    def _prepare(self, query, partitioning, stats="exact", tree=None):
         """Parse + derive the execution catalog for a query.
 
         Shared by :meth:`plan` and :meth:`rehydrate`: selection
@@ -618,6 +800,14 @@ class Planner:
         a :class:`PlanSpec` cheap — the worker only ships decisions,
         the local catalog derivation is a cache lookup after the first
         query of a shape.
+
+        A *cyclic* :class:`ParsedQuery` prepares with
+        ``join_query=None`` — its spanning tree is an optimizer
+        decision, so partitioning (whose layout follows the tree's
+        probe attributes) is deferred until the joint search picks one.
+        ``tree`` short-circuits that: rehydration passes the tree a
+        :class:`PlanSpec` resolved, and preparation proceeds exactly
+        like the acyclic path.
         """
         catalog = self.catalog
         data_token = None
@@ -631,7 +821,12 @@ class Planner:
                     "QuerySession.prepare(...)"
                 )
             catalog = push_down_selections(catalog, query)
-            join_query = query.to_join_query()
+            if tree is not None:
+                join_query = tree
+            elif query.is_connected() and not query.is_acyclic():
+                join_query = None  # cyclic: the joint search picks the tree
+            else:
+                join_query = query.to_join_query()
             token_extra = (
                 tuple(sorted(query.relations.items())),
                 tuple(sorted(
@@ -662,43 +857,11 @@ class Planner:
             content_token = (self.catalog.fingerprint(),) + token_extra
         source_catalog = catalog
         effective_shards = 1
-        if num_shards > 1:
-            shard_spec = tuple(sorted(
-                (edge.child, edge.child_attr) for edge in join_query.edges
-            ))
-            children = {edge.child for edge in join_query.edges}
-            if isinstance(query, ParsedQuery):
-                # only the partitioned relations' identity + selections:
-                # a literal on the driver must not force a re-cluster
-                child_token = (
-                    tuple(sorted(
-                        (alias, table_name)
-                        for alias, table_name in query.relations.items()
-                        if alias in children
-                    )),
-                    tuple(sorted(
-                        (alias, column, literal)
-                        for alias, predicate in query.selections.items()
-                        if alias in children
-                        for column, literal in predicate.items()
-                    )),
-                )
-            else:
-                child_token = ()
-            replacements = self._replacement_cache.get_or_compute(
-                (self.catalog.fingerprint(), child_token, shard_spec,
-                 num_shards, partition_floor),
-                lambda: partition_replacements(
-                    source_catalog, join_query, num_shards,
-                    min_rows=partition_floor,
-                ),
+        if join_query is not None:
+            catalog, effective_shards = self._apply_partitioning(
+                query, source_catalog, join_query, num_shards,
+                partition_floor, content_token,
             )
-            if replacements:
-                effective_shards = num_shards
-                catalog = self._partition_cache.get_or_compute(
-                    content_token + (shard_spec, num_shards, partition_floor),
-                    lambda: source_catalog.derived_with(replacements),
-                )
         # Sampling draws row *positions*, so it must see the layout-
         # independent source rows or the fixed-seed sample (and hence
         # the plan) would vary with the shard count; exact derivation
@@ -719,6 +882,10 @@ class Planner:
             stats_catalog=stats_catalog,
             data_token=data_token,
             effective_shards=effective_shards,
+            source_catalog=source_catalog,
+            num_shards=num_shards,
+            partition_floor=partition_floor,
+            content_token=content_token,
         )
 
     def plan(
@@ -731,6 +898,7 @@ class Planner:
         flat_output=True,
         partitioning=None,
         planning_budget_ms=None,
+        tree_search="joint",
     ):
         """Build a :class:`PhysicalPlan`.
 
@@ -771,11 +939,27 @@ class Planner:
             Per-call override of the planner's configured planning
             budget (see the class docstring): order searches run under
             a deadline and fall down the exhaustive -> IDP -> beam
-            ladder when they overrun it.
+            ladder when they overrun it.  For a cyclic query the
+            deadline additionally bounds the candidate-tree sweep (the
+            greedy Kruskal tree is always fully evaluated, so a plan
+            exists at any budget).
+        tree_search:
+            Cyclic queries only.  ``"joint"`` (default) searches
+            spanning tree and join order together — candidate trees
+            stream in ascending estimated-output order, each priced by
+            the full cost model (tree join + expansion + residual
+            filters) with its order search branch-and-bound pruned
+            against the incumbent.  ``"greedy"`` evaluates only the
+            Kruskal minimum-selectivity tree (the historical
+            behaviour, exposed as the benchmark baseline).
         """
         if optimizer not in self.OPTIMIZERS:
             raise ValueError(
                 f"optimizer must be one of {self.OPTIMIZERS}, got {optimizer!r}"
+            )
+        if tree_search not in ("joint", "greedy"):
+            raise ValueError(
+                f'tree_search must be "joint" or "greedy", got {tree_search!r}'
             )
         if planning_budget_ms is None:
             planning_budget_ms = self.planning_budget_ms
@@ -785,14 +969,23 @@ class Planner:
         )
         prep = self._prepare(query, partitioning, stats)
         join_query = prep.join_query
+        num_relations = (
+            join_query.num_relations if join_query is not None
+            else len(prep.query.relations)
+        )
         optimizer = self.resolve_optimizer(
-            optimizer, join_query.num_relations, planning_budget_ms
+            optimizer, num_relations, planning_budget_ms
         )
         modes = (
             ExecutionMode.all_modes()
             if mode == "auto"
             else [ExecutionMode(mode)]
         )
+        if join_query is None:
+            return self._plan_cyclic(
+                prep, modes, optimizer, driver, stats, deadline,
+                tree_search,
+            )
         if driver == "auto" and join_query.num_relations > 1:
             return self._plan_driver_auto(
                 prep, modes, optimizer, stats, flat_output, deadline
@@ -1003,6 +1196,243 @@ class Planner:
         return best
 
     # ------------------------------------------------------------------
+    # Cyclic queries: joint spanning-tree + join-order search
+    # ------------------------------------------------------------------
+
+    def _cyclic_directed_stats(self, prep, method, sample_fraction=0.05,
+                               seed=0):
+        """Direction-complete predicate statistics for a cyclic query.
+
+        One measurement (or sampling) pass covers both probe directions
+        of *every* join predicate — tree edges and residuals alike — so
+        each candidate spanning tree's :class:`QueryStats`, every
+        rooting of it, and every residual selectivity are assembled
+        with dictionary work.  Cached under the rooting-free
+        :func:`~repro.core.cyclic.cyclic_signature`, so repeated cyclic
+        plans of one join graph share a single derivation.
+        """
+        catalog, parsed = prep.stats_catalog, prep.query
+        if method == "exact":
+            def derive():
+                return cyclic_directed_stats(catalog, parsed)
+        elif method == "sampling":
+            def derive():
+                return self._cyclic_sampling_stats(
+                    catalog, parsed, sample_fraction, seed
+                )
+        else:
+            raise ValueError(
+                f"stats method must be 'exact' or 'sampling' for a cyclic "
+                f"query; got {method!r}"
+            )
+        if self.stats_cache is not None and prep.data_token is not None:
+            method_key = self._stats_method_key(method, sample_fraction,
+                                                seed)
+            return self.stats_cache.get_or_derive_signature(
+                prep.data_token,
+                cyclic_signature(parsed),
+                f"cyclic-directed:{method_key}",
+                derive,
+            )
+        return derive()
+
+    @staticmethod
+    def _cyclic_sampling_stats(catalog, parsed, sample_fraction, seed):
+        """Sampling-based :func:`cyclic_directed_stats` equivalent.
+
+        Each direction's estimate is built exactly as
+        :meth:`derive_stats` would for a tree that orients the
+        predicate that way (same constructor arguments, same seed).
+        """
+        from .estimation.sampling import CorrelatedSample
+
+        directed = {}
+        for rel_a, attr_a, rel_b, attr_b in parsed.join_predicates:
+            if (rel_a, attr_a, rel_b, attr_b) in directed:
+                continue
+            for parent, parent_attr, child, child_attr in (
+                (rel_a, attr_a, rel_b, attr_b),
+                (rel_b, attr_b, rel_a, attr_a),
+            ):
+                estimate = CorrelatedSample(
+                    catalog.table(parent),
+                    catalog.table(child),
+                    parent_attr,
+                    child_attr,
+                    sample_fraction=sample_fraction,
+                    seed=seed,
+                ).estimate()
+                directed[(parent, parent_attr, child, child_attr)] = \
+                    EdgeStats(m=estimate.m, fo=max(estimate.fo, 1e-9))
+        sizes = {
+            alias: len(catalog.table(alias)) for alias in parsed.relations
+        }
+        return directed, sizes
+
+    def _plan_cyclic(self, prep, modes, optimizer, driver, stats, deadline,
+                     tree_search):
+        """Joint spanning-tree + join-order search for a cyclic query.
+
+        The cyclic analogue of :meth:`_plan_driver_auto`, one level up:
+
+        1. **shared statistics** — both directions of every join
+           predicate are measured once; candidate-tree stats and
+           residual selectivities are assembled, not re-derived;
+        2. **ranked candidates** — spanning trees stream in
+           approximately ascending estimated tree-output order (the
+           greedy Kruskal minimum first, so the incumbent is strong
+           immediately and the search can only match or beat greedy);
+        3. **incumbent pruning** — each tree's fixed cost floor (the
+           expansion of its expected output plus its residual-filter
+           term, both order- and rooting-invariant) is subtracted from
+           the incumbent's total cost to form the ``upper_bound`` for
+           the tree's order searches; trees whose floor alone reaches
+           the incumbent are skipped without any order search.
+
+        Every candidate tree is priced by the *total* cost model —
+        tree-join cost (flat output: residual filtering always pays the
+        expansion) plus :func:`~repro.core.cyclic.residual_filter_cost`
+        — so a tree with a slightly larger join output still wins when
+        its probe structure or residuals are cheaper.  ``driver="auto"``
+        re-roots each candidate tree (proxy-ranked, as in the acyclic
+        driver search); a ``deadline`` bounds the candidate sweep after
+        the greedy tree, which is always fully evaluated.
+        """
+        parsed = prep.query
+        if isinstance(stats, QueryStats):
+            raise ValueError(
+                "cyclic planning derives per-tree statistics; pass "
+                'stats="exact" or "sampling" (a prebuilt QueryStats only '
+                "describes one rooting of one spanning tree)"
+            )
+        directed, sizes = self._cyclic_directed_stats(prep, stats)
+        predicates = list(parsed.join_predicates)
+        pair_sels = [
+            edge_pair_selectivity(directed, sizes, predicate)
+            for predicate in predicates
+        ]
+        tree_weights = [log_pair_weight(s) for s in pair_sels]
+        max_trees = 1 if tree_search == "greedy" else self.max_spanning_trees
+        relations = list(parsed.relations)
+        roots = (
+            relations if driver == "auto" and len(relations) > 1
+            else [relations[0]]
+        )
+        proxy_mode = next(
+            (mode for mode in modes if not mode.uses_semijoin), None
+        )
+        best = None
+        candidate_trees = enumerate_spanning_trees(
+            relations, predicates, tree_weights, max_trees=max_trees
+        )
+        for tree_index, tree in enumerate(candidate_trees):
+            if tree_index and deadline is not None \
+                    and time.perf_counter() > deadline:
+                break  # anytime: the greedy tree is always evaluated
+            in_tree = set(tree)
+            tree_predicates = [predicates[index] for index in tree]
+            residual_pairs = sorted(
+                (pair_sels[index], index)
+                for index in range(len(predicates))
+                if index not in in_tree
+            )
+            # applied most-reducing first, matching residual_filter_cost
+            residuals = tuple(
+                ResidualPredicate(*predicates[index])
+                for _, index in residual_pairs
+            )
+            residual_sels = tuple(sel for sel, _ in residual_pairs)
+
+            # Same proxy-rank-then-prune shape as _plan_driver_auto's
+            # rooting loop, with two deliberate differences: the slack
+            # below adds the tree's residual term, and per-rooting stats
+            # are NOT pre-registered in the stats cache — every tree's
+            # rootings assemble from the one shared directed map, and
+            # registering up to max_spanning_trees x n per-rooting
+            # entries would churn the cache for keys no fixed-driver
+            # plan will ever ask for.
+            candidates = []
+            for position, root in enumerate(roots):
+                # root the already-materialized tree edges directly; the
+                # predicate-multiset subtraction behind
+                # tree_query_from_residuals is root-independent and
+                # would be redone once per rooting
+                rooted = _rooted_tree(relations, tree_predicates, root)
+                rooted_stats = stats_for_tree(rooted, directed, sizes)
+                memo = CostMemo(rooted)
+                if len(roots) > 1 and proxy_mode is not None:
+                    greedy = beam_order(
+                        rooted, rooted_stats, mode=proxy_mode, eps=self.eps,
+                        weights=self.weights, beam_width=1, memoize=memo,
+                    )
+                    proxy_cost = self._cost(rooted, rooted_stats,
+                                            greedy.order, proxy_mode, True,
+                                            memo)
+                else:
+                    proxy_cost = 0.0
+                candidates.append(
+                    (proxy_cost, position, rooted, rooted_stats, memo)
+                )
+            candidates.sort(key=lambda entry: (entry[0], entry[1]))
+
+            # Order- and rooting-invariant cost floor of this tree: the
+            # expansion of its expected flat output plus the residual
+            # filters over it.  Subtracted from the incumbent to form
+            # the order searches' branch-and-bound bound (the same
+            # soundness argument as the driver search's slack).
+            expected_out = expected_output_size(
+                candidates[0][2], candidates[0][3]
+            )
+            residual_cost = residual_filter_cost(
+                expected_out, residual_sels, self.weights
+            )
+            slack = residual_cost \
+                + expected_out * self.weights.tuple_generation
+            if best is not None and slack >= best.predicted_cost:
+                continue  # the floor alone reaches the incumbent
+
+            for _, _, rooted, rooted_stats, memo in candidates:
+                for candidate_mode in modes:
+                    upper_bound = None
+                    if best is not None:
+                        upper_bound = best.predicted_cost - slack
+                        if upper_bound <= 0.0:
+                            continue
+                    order, child_orders = self._order_for_mode(
+                        rooted, rooted_stats, candidate_mode, optimizer,
+                        memo, upper_bound=upper_bound, deadline=deadline,
+                    )
+                    if order is None:
+                        continue  # pruned: cannot beat the incumbent
+                    total = self._cost(
+                        rooted, rooted_stats, order, candidate_mode, True,
+                        memo,
+                    ) + residual_cost
+                    if best is None or total < best.predicted_cost:
+                        best = PhysicalPlan(
+                            catalog=prep.source_catalog,
+                            query=rooted,
+                            order=order,
+                            mode=candidate_mode,
+                            stats=rooted_stats,
+                            predicted_cost=total,
+                            child_orders=child_orders,
+                            weights=self.weights,
+                            num_shards=1,
+                            residuals=residuals,
+                            residual_selectivities=residual_sels,
+                        )
+        # Partitioning follows the winning tree's probe attributes, so
+        # it is applied only now (content-addressed, like every plan).
+        catalog, effective_shards = self._apply_partitioning(
+            prep.query, prep.source_catalog, best.query, prep.num_shards,
+            prep.partition_floor, prep.content_token,
+        )
+        best.catalog = catalog
+        best.num_shards = effective_shards
+        return best
+
+    # ------------------------------------------------------------------
     # Plan-spec rehydration (process-pool planning)
     # ------------------------------------------------------------------
 
@@ -1022,8 +1452,23 @@ class Planner:
                 "stale PlanSpec: the catalog content changed since it "
                 "was planned (fingerprint mismatch)"
             )
-        prep = self._prepare(query, partitioning)
-        rooted = prep.join_query.rerooted(spec.root)
+        if isinstance(query, str):
+            query = parse_query(query)
+        residuals = tuple(getattr(spec, "residuals", ()))
+        tree = None
+        if residuals:
+            if not isinstance(query, ParsedQuery):
+                raise ValueError(
+                    "a cyclic PlanSpec (with residuals) can only be "
+                    "rehydrated against the ParsedQuery it was planned for"
+                )
+            # The spec's residuals identify the resolved spanning tree:
+            # the query's predicate multiset minus them, rooted at the
+            # spec's driver.
+            tree = tree_query_from_residuals(query, residuals, spec.root)
+        prep = self._prepare(query, partitioning, tree=tree)
+        rooted = tree if tree is not None \
+            else prep.join_query.rerooted(spec.root)
         if prep.effective_shards != spec.num_shards:
             raise ValueError(
                 f"PlanSpec was planned for {spec.num_shards} shard(s) "
@@ -1042,4 +1487,8 @@ class Planner:
             },
             weights=spec.weights,
             num_shards=spec.num_shards,
+            residuals=residuals,
+            residual_selectivities=tuple(
+                getattr(spec, "residual_selectivities", ())
+            ),
         )

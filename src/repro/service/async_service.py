@@ -327,6 +327,8 @@ class AsyncQueryService:
                             "planning_budget_ms":
                                 planner.planning_budget_ms,
                             "partitioning": planner.partitioning,
+                            "max_spanning_trees":
+                                planner.max_spanning_trees,
                         },
                     ),
                 )

@@ -58,6 +58,13 @@ class QueryReport:
     #: snapshot of :meth:`QuerySession.cache_stats` taken when the
     #: report was produced (``None`` outside session executions)
     cache_stats: dict = None
+    #: residual predicates of a cyclic plan, in application order
+    #: (empty for acyclic queries)
+    residual_predicates: tuple = ()
+    #: *observed* joint selectivity of the residual-filter stage —
+    #: ``output_size / residual_input_tuples`` (1.0 when the query had
+    #: no residuals or nothing reached them)
+    residual_selectivity: float = 1.0
     timed_out: bool = False
     error: Exception = None
 
@@ -130,6 +137,13 @@ def _reported_run(query, plan_phase, session=None):
         report.reduction_seconds = getattr(
             report.result, "reduction_seconds", 0.0
         )
+        report.residual_predicates = tuple(getattr(plan, "residuals", ()))
+        counters = getattr(report.result, "counters", None)
+        residual_input = getattr(counters, "residual_input_tuples", 0)
+        if residual_input:
+            report.residual_selectivity = (
+                report.result.output_size / residual_input
+            )
     if session is not None:
         report.cache_stats = session.cache_stats()
     return report
@@ -165,11 +179,18 @@ class QuerySession:
         *resolved* shard count is part of the plan-cache key, so
         retuning the layout misses instead of serving a plan pinned to
         a differently-sharded catalog.
+    max_spanning_trees:
+        Candidate-tree cap for cyclic queries' joint spanning-tree +
+        join-order search, forwarded to the
+        :class:`~repro.planner.Planner` and part of the plan-cache key
+        (a plan found under a wider tree search must not be mistaken
+        for a narrower one's).
     """
 
     def __init__(self, catalog, weights=None, eps=0.01, plan_cache_size=128,
                  stats_cache_size=256, idp_block_size=8, beam_width=8,
-                 planning_budget_ms=None, partitioning="off"):
+                 planning_budget_ms=None, partitioning="off",
+                 max_spanning_trees=16):
         self.catalog = catalog
         self.planner = Planner(
             catalog, weights=weights, eps=eps,
@@ -177,6 +198,7 @@ class QuerySession:
             idp_block_size=idp_block_size, beam_width=beam_width,
             planning_budget_ms=planning_budget_ms,
             partitioning=partitioning,
+            max_spanning_trees=max_spanning_trees,
         )
         self.plan_cache = PlanCache(plan_cache_size)
         self._last_fingerprint = None
@@ -187,7 +209,7 @@ class QuerySession:
 
     def _plan_options(self, mode, resolved_optimizer, driver, stats,
                       flat_output, resolved_shards, partition_floor,
-                      budget_ms):
+                      budget_ms, tree_search):
         # Keyed on the *resolved* algorithm and shard count (never the
         # raw "auto"), so an auto-planned query and an explicit request
         # for the same resolution share one cache entry.  The scaling
@@ -211,6 +233,10 @@ class QuerySession:
             # counts don't, so equal resolutions may shard differently
             partition_floor,
             budget_ms,
+            # cyclic queries: the tree-search strategy and candidate cap
+            # determine which spanning tree the plan resolved to
+            tree_search,
+            self.planner.max_spanning_trees,
         )
 
     @staticmethod
@@ -222,7 +248,8 @@ class QuerySession:
 
     def cache_key(self, query, mode="auto", optimizer="exhaustive",
                   driver="fixed", stats="exact", flat_output=True,
-                  partitioning=None, planning_budget_ms=None):
+                  partitioning=None, planning_budget_ms=None,
+                  tree_search="joint"):
         """The plan-cache key :meth:`plan` would use for this request.
 
         Also maintains the fingerprint guard (a catalog content change
@@ -257,12 +284,14 @@ class QuerySession:
             fingerprint,
             self._plan_options(mode, resolved, driver, stats,
                                flat_output, resolved_shards,
-                               partition_floor, planning_budget_ms),
+                               partition_floor, planning_budget_ms,
+                               tree_search),
         )
 
     def plan(self, query, mode="auto", optimizer="exhaustive", driver="fixed",
              stats="exact", flat_output=True, use_cache=True,
-             partitioning=None, planning_budget_ms=None):
+             partitioning=None, planning_budget_ms=None,
+             tree_search="joint"):
         """A :class:`~repro.planner.PhysicalPlan`, via the plan cache.
 
         Accepts the same arguments as :meth:`Planner.plan` (including
@@ -283,12 +312,13 @@ class QuerySession:
             stats=stats, flat_output=flat_output, use_cache=use_cache,
             partitioning=partitioning,
             planning_budget_ms=planning_budget_ms,
+            tree_search=tree_search,
         )[0]
 
     def _plan_with_hit(self, query, mode="auto", optimizer="exhaustive",
                        driver="fixed", stats="exact", flat_output=True,
                        use_cache=True, partitioning=None,
-                       planning_budget_ms=None):
+                       planning_budget_ms=None, tree_search="joint"):
         """``(plan, cache_hit)`` — :meth:`plan` plus a race-free hit flag.
 
         The flag comes from *this call's own* cache lookup, never from
@@ -305,6 +335,7 @@ class QuerySession:
                 stats=stats, flat_output=flat_output,
                 partitioning=partitioning,
                 planning_budget_ms=planning_budget_ms,
+                tree_search=tree_search,
             )
             plan = self.plan_cache.get(key)
             if plan is not None:
@@ -314,13 +345,14 @@ class QuerySession:
                 stats=stats, flat_output=flat_output,
                 partitioning=partitioning,
                 planning_budget_ms=planning_budget_ms,
+                tree_search=tree_search,
             )
             self.plan_cache.put(key, plan)
             return plan, False
         return self.planner.plan(
             query, mode=mode, optimizer=optimizer, driver=driver,
             stats=stats, flat_output=flat_output, partitioning=partitioning,
-            planning_budget_ms=planning_budget_ms,
+            planning_budget_ms=planning_budget_ms, tree_search=tree_search,
         ), False
 
     def explain(self, query, **plan_kwargs):

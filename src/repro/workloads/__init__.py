@@ -1,10 +1,20 @@
 """Workload and dataset generators for the evaluation."""
 
 from .cebench import DATASET_FLAVORS, CEDataset, DatasetFlavor, build_dataset
+from .cyclic import (
+    CYCLIC_SHAPES,
+    clique_query,
+    cycle_query,
+    cyclic_catalog,
+    cyclic_scaling_suite,
+    grid_query,
+    to_sql,
+)
 from .dblp_like import EstimationDataset, JoinTask, build_estimation_dataset
 from .large_joins import (
     LARGE_SHAPES,
     chain_query,
+    large_join_catalog,
     large_query_stats,
     random_tree_query,
     scaling_suite,
@@ -40,6 +50,7 @@ from .synthetic import (
 )
 
 __all__ = [
+    "CYCLIC_SHAPES",
     "DATASET_FLAVORS",
     "DEFAULT_FANOUT_RANGE",
     "CEDataset",
@@ -54,7 +65,13 @@ __all__ = [
     "build_dataset",
     "build_estimation_dataset",
     "chain_query",
+    "clique_query",
+    "cycle_query",
+    "cyclic_catalog",
+    "cyclic_scaling_suite",
     "generate_dataset",
+    "grid_query",
+    "large_join_catalog",
     "large_query_stats",
     "paper_path11",
     "paper_snowflake_3_2",
@@ -73,4 +90,5 @@ __all__ = [
     "specs_from_ranges",
     "star",
     "star_query",
+    "to_sql",
 ]

@@ -4,12 +4,19 @@ import numpy as np
 import pytest
 
 from repro.core import (
+    decompose,
+    enumerate_spanning_trees,
+    exact_equal,
     execute_cyclic,
     parse_query,
+    residual_filter_cost,
     spanning_tree_decomposition,
+    tree_query_from_residuals,
 )
+from repro.core.costmodel import CostWeights
 from repro.modes import ExecutionMode
 from repro.storage import Catalog
+from repro.storage.partition import PartitionedTable
 
 TRIANGLE = (
     "select * from A, B, C "
@@ -127,3 +134,199 @@ def test_larger_cycle_two_residuals():
     plan = spanning_tree_decomposition(parsed, driver="A")
     assert len(plan.residuals) == 2
     assert plan.query.num_relations == 4
+
+
+# ----------------------------------------------------------------------
+# Spanning-tree enumeration
+# ----------------------------------------------------------------------
+
+
+def _enumerate(parsed, weights=None, **kwargs):
+    predicates = list(parsed.join_predicates)
+    if weights is None:
+        weights = [1.0] * len(predicates)
+    return list(enumerate_spanning_trees(
+        list(parsed.relations), predicates, weights, **kwargs
+    ))
+
+
+def test_triangle_has_three_spanning_trees():
+    parsed = parse_query(TRIANGLE)
+    trees = _enumerate(parsed)
+    assert len(trees) == 3
+    assert len(set(trees)) == 3
+    assert all(len(tree) == 2 for tree in trees)
+
+
+def test_k4_has_sixteen_spanning_trees():
+    # Cayley: n^(n-2) spanning trees of the complete graph.
+    parsed = parse_query(
+        "select * from A, B, C, D "
+        "where A.x = B.x and A.y = C.y and A.z = D.z "
+        "and B.u = C.u and B.v = D.v and C.w = D.w"
+    )
+    trees = _enumerate(parsed)
+    assert len(trees) == 16
+    assert len(set(trees)) == 16
+
+
+def test_enumeration_starts_at_kruskal_minimum_and_ascends():
+    parsed = parse_query(TRIANGLE)
+    weights = [0.1, 5.0, 1.0]  # A-B cheap, B-C expensive, C-A middle
+    trees = _enumerate(parsed, weights)
+    totals = [sum(weights[i] for i in tree) for tree in trees]
+    assert totals == sorted(totals)
+    assert set(trees[0]) == {0, 2}  # the two cheapest edges
+
+
+def test_enumeration_max_trees_cap():
+    parsed = parse_query(TRIANGLE)
+    assert len(_enumerate(parsed, max_trees=1)) == 1
+
+
+def test_enumeration_handles_parallel_predicates():
+    # Two predicates between one relation pair: 2 relations, 2 trees.
+    parsed = parse_query("select * from A, B where A.x = B.x and A.y = B.y")
+    assert not parsed.is_acyclic()
+    trees = _enumerate(parsed)
+    assert sorted(trees) == [(0,), (1,)]
+
+
+def test_decompose_and_residual_round_trip():
+    parsed = parse_query(TRIANGLE)
+    predicates = list(parsed.join_predicates)
+    plan = decompose(parsed, predicates[:2], driver="B")
+    assert plan.query.root == "B"
+    assert [r.key for r in plan.residuals] == [predicates[2]]
+    rebuilt = tree_query_from_residuals(parsed, plan.residuals, "B")
+    assert {(e.parent, e.child) for e in rebuilt.edges} == \
+        {(e.parent, e.child) for e in plan.query.edges}
+
+
+def test_tree_signature_is_stable():
+    parsed = parse_query(TRIANGLE)
+    predicates = list(parsed.join_predicates)
+    first = decompose(parsed, predicates[:2], driver="A")
+    second = decompose(parsed, predicates[:2], driver="A")
+    other = decompose(parsed, predicates[1:], driver="A")
+    assert first.tree_signature() == second.tree_signature()
+    assert first.tree_signature() != other.tree_signature()
+
+
+# ----------------------------------------------------------------------
+# Exact residual comparison (PR 3 float-key semantics)
+# ----------------------------------------------------------------------
+
+
+def test_exact_equal_plain_integers():
+    got = exact_equal(np.array([1, 2, 3]), np.array([1, 5, 3]))
+    assert got.tolist() == [True, False, True]
+
+
+def test_exact_equal_integral_floats_match_ints():
+    got = exact_equal(np.array([1, 2, 3]), np.array([1.0, 2.5, 3.0]))
+    assert got.tolist() == [True, False, True]
+
+
+def test_exact_equal_huge_int_float_collision():
+    # 2**53 and 2**53 + 1 collide after a float64 upcast; the exact
+    # comparison keeps them apart (same semantics as sharded probes).
+    huge = 2 ** 53
+    ints = np.array([huge + 1, huge], dtype=np.int64)
+    floats = np.array([float(huge), float(huge)])
+    naive = ints == floats
+    assert naive.tolist() == [True, True]  # the bug being fixed
+    assert exact_equal(ints, floats).tolist() == [False, True]
+
+
+def test_exact_equal_nan_and_inf_match_nothing():
+    ints = np.array([0, 1, 2], dtype=np.int64)
+    floats = np.array([np.nan, np.inf, -np.inf])
+    assert not exact_equal(ints, floats).any()
+    # NaN != NaN in float-float comparisons too (join semantics)
+    nans = np.array([np.nan, 1.0])
+    assert exact_equal(nans, nans).tolist() == [False, True]
+
+
+def test_exact_equal_out_of_range_floats():
+    ints = np.array([2 ** 63 - 1, -(2 ** 63)], dtype=np.int64)
+    floats = np.array([float(2 ** 63), float(-(2 ** 63))])
+    got = exact_equal(ints, floats)
+    assert got.tolist() == [False, True]  # -2**63 is exactly representable
+
+
+def test_exact_equal_bool_routes_as_int():
+    got = exact_equal(np.array([True, False]), np.array([1, 1]))
+    assert got.tolist() == [True, False]
+
+
+# ----------------------------------------------------------------------
+# Residual-cost model and execution counters
+# ----------------------------------------------------------------------
+
+
+def test_residual_filter_cost_is_progressive():
+    weights = CostWeights()
+    cost = residual_filter_cost(1000.0, (0.1, 0.5), weights)
+    # filter 1 sees 1000 tuples, filter 2 only the 100 survivors
+    assert cost == pytest.approx((1000 + 100) * weights.semijoin_probe)
+    assert residual_filter_cost(1000.0, (), weights) == 0.0
+
+
+@pytest.mark.parametrize("collect_output", [False, True])
+def test_residual_counters_match_across_pipelines(triangle_catalog,
+                                                  collect_output):
+    """Factorized and flat paths account the residual stage identically."""
+    parsed = parse_query(TRIANGLE)
+    plan = spanning_tree_decomposition(parsed, driver="A")
+    size_com, com, _ = execute_cyclic(
+        triangle_catalog, plan, mode=ExecutionMode.COM,
+        collect_output=collect_output,
+    )
+    size_std, std, _ = execute_cyclic(
+        triangle_catalog, plan, mode=ExecutionMode.STD,
+        collect_output=collect_output,
+    )
+    assert size_com == size_std
+    assert com.counters.residual_input_tuples == \
+        std.counters.residual_input_tuples > 0
+    assert com.counters.residual_checks == std.counters.residual_checks > 0
+
+
+def test_counting_matches_collecting(triangle_catalog):
+    parsed = parse_query(TRIANGLE)
+    plan = spanning_tree_decomposition(parsed, driver="A")
+    for mode in (ExecutionMode.COM, ExecutionMode.STD):
+        counted, counted_result, rows = execute_cyclic(
+            triangle_catalog, plan, mode=mode, collect_output=False,
+        )
+        collected, collected_result, collected_rows = execute_cyclic(
+            triangle_catalog, plan, mode=mode, collect_output=True,
+        )
+        assert rows is None and counted_result.output_rows is None
+        assert counted == collected == len(collected_rows["A"])
+        assert counted_result.counters.residual_checks == \
+            collected_result.counters.residual_checks
+
+
+def test_execute_cyclic_on_partitioned_catalog(triangle_catalog):
+    """The unpartitioned-catalog restriction is lifted: residual values
+    are fetched in base-row-id space, so results are bit-identical."""
+    parsed = parse_query(TRIANGLE)
+    plan = spanning_tree_decomposition(parsed, driver="A")
+    expected = brute_force_triangle(triangle_catalog)
+    partitioned = triangle_catalog.derived_with({
+        "B": PartitionedTable.from_table(
+            triangle_catalog.table("B"), "x", 2),
+        "C": PartitionedTable.from_table(
+            triangle_catalog.table("C"), "z", 2),
+    })
+    for mode in ExecutionMode.all_modes():
+        size, result, rows = execute_cyclic(
+            partitioned, plan, mode=mode, collect_output=True
+        )
+        assert size == len(expected)
+        got = sorted(zip(rows["A"].tolist(), rows["B"].tolist(),
+                         rows["C"].tolist()))
+        assert got == expected
+    assert result.shards_used == 2
