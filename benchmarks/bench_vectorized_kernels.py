@@ -1,0 +1,243 @@
+"""Vectorized-vs-interpreted kernel benchmark: the tentpole speedup.
+
+Measures the two execution data planes against each other at two
+levels:
+
+* **micro** — each kernel primitive in isolation (hash probe, sharded
+  probe, semi-join membership, expansion repeats/ranges, partitioned
+  gather, residual equality mask) on identical inputs;
+* **warm end-to-end** — plan-cache-hit QPS of a :class:`~repro.QuerySession`
+  over the paper's 6-relation running example with
+  ``execution="vectorized"`` vs ``execution="interpreted"``.
+
+Results are written to
+``benchmarks/results/BENCH_vectorized_kernels.json``.  ``--smoke``
+runs a reduced grid for CI and (like the full run) asserts the warm
+end-to-end speedup is at least :data:`MIN_WARM_SPEEDUP` — the
+acceptance gate for shipping the vectorized path as the default.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import QuerySession
+from repro.core.cyclic import exact_equal
+from repro.engine.kernels import INTERPRETED, VECTORIZED
+from repro.storage import Catalog, HashIndex, PartitionedTable, Table
+from repro.storage.partition import ShardedHashIndex
+
+RESULTS_DIR = Path(__file__).parent / "results"
+RESULTS_PATH = RESULTS_DIR / "BENCH_vectorized_kernels.json"
+
+#: same 6-relation query as bench_service_throughput, so the warm QPS
+#: numbers here are directly comparable with that benchmark's
+SQL = ("select * from R1, R2, R3, R4, R5, R6 "
+       "where R1.B = R2.B and R2.C = R3.C and R2.D = R4.D "
+       "and R1.E = R5.E and R5.F = R6.F")
+
+#: warm vectorized QPS must beat interpreted by at least this factor
+MIN_WARM_SPEEDUP = 2.0
+
+SIZES = {"build": 200_000, "probe": 400_000, "warm_queries": 80}
+SMOKE_SIZES = {"build": 30_000, "probe": 60_000, "warm_queries": 24}
+
+
+def time_ms(fn, reps=3):
+    """Best-of-``reps`` wall time in milliseconds."""
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best * 1e3
+
+
+def micro_row(kernel, size, vect_fn, interp_fn, check=None):
+    """Time one primitive on both data planes and record the speedup."""
+    vect_out = vect_fn()
+    interp_out = interp_fn()
+    if check is not None:
+        check(vect_out, interp_out)
+    vect_ms = time_ms(vect_fn)
+    interp_ms = time_ms(interp_fn)
+    return {
+        "kernel": kernel,
+        "size": size,
+        "vectorized_ms": round(vect_ms, 3),
+        "interpreted_ms": round(interp_ms, 3),
+        "speedup": round(interp_ms / vect_ms, 1) if vect_ms > 0 else None,
+    }
+
+
+def bench_micro(sizes, rng):
+    n_build, n_probe = sizes["build"], sizes["probe"]
+    keys = rng.integers(0, n_build // 4, n_build)
+    probes = rng.integers(-n_build // 8, n_build // 3, n_probe)
+    index = HashIndex(keys)
+    sharded = ShardedHashIndex(keys, 4)
+    rows = []
+
+    def same_lookup(v, i):
+        assert v.counts.tolist() == i.counts.tolist()
+
+    rows.append(micro_row(
+        "hash_probe", n_probe,
+        lambda: VECTORIZED.lookup(index, probes),
+        lambda: INTERPRETED.lookup(index, probes),
+        check=same_lookup,
+    ))
+    rows.append(micro_row(
+        "sharded_probe", n_probe,
+        lambda: VECTORIZED.lookup(sharded, probes),
+        lambda: INTERPRETED.lookup(sharded, probes),
+        check=same_lookup,
+    ))
+    rows.append(micro_row(
+        "semijoin_contains", n_probe,
+        lambda: VECTORIZED.contains(index, probes),
+        lambda: INTERPRETED.contains(index, probes),
+        check=lambda v, i: np.array_equal(v, i),
+    ))
+
+    entries = rng.integers(0, n_build, n_probe // 2).astype(np.int64)
+    counts = rng.integers(0, 4, n_probe // 2).astype(np.int64)
+    rows.append(micro_row(
+        "expand_repeat_rows", int(counts.sum()),
+        lambda: VECTORIZED.repeat_rows(entries, counts),
+        lambda: INTERPRETED.repeat_rows(entries, counts),
+        check=lambda v, i: np.array_equal(v, i),
+    ))
+    starts = np.cumsum(counts) - counts
+    rows.append(micro_row(
+        "expand_concat_ranges", int(counts.sum()),
+        lambda: VECTORIZED.concat_ranges(starts, counts),
+        lambda: INTERPRETED.concat_ranges(starts, counts),
+        check=lambda v, i: np.array_equal(v, i),
+    ))
+
+    payload = np.arange(n_build, dtype=np.int64)
+    table = PartitionedTable.from_table(
+        Table("t", {"k": keys, "p": payload}), "k", 4)
+    gather_rows = rng.integers(0, n_build, n_probe // 2).astype(np.int64)
+    rows.append(micro_row(
+        "partitioned_gather", len(gather_rows),
+        lambda: VECTORIZED.gather(table, "p", gather_rows),
+        lambda: INTERPRETED.gather(table, "p", gather_rows),
+        check=lambda v, i: np.array_equal(v, i),
+    ))
+
+    left = rng.integers(0, 50, n_probe).astype(np.float64)
+    right = rng.integers(0, 50, n_probe).astype(np.int64)
+    rows.append(micro_row(
+        "residual_equal_mask", n_probe,
+        lambda: VECTORIZED.equal_mask(left, right),
+        lambda: INTERPRETED.equal_mask(left, right),
+        check=lambda v, i: (np.array_equal(v, i)
+                            and np.array_equal(v, exact_equal(left, right))),
+    ))
+    return rows
+
+
+def make_catalog(seed=3, driver_rows=4_000, child_rows=2_500, domain=2_000):
+    rng = np.random.default_rng(seed)
+    catalog = Catalog()
+    catalog.add_table("R1", {
+        "A": np.arange(driver_rows),
+        "B": rng.integers(0, domain, driver_rows),
+        "E": rng.integers(0, domain, driver_rows),
+    })
+    catalog.add_table("R2", {
+        "B": rng.integers(0, domain, child_rows),
+        "C": rng.integers(0, domain, child_rows),
+        "D": rng.integers(0, domain, child_rows),
+    })
+    catalog.add_table("R3", {"C": rng.integers(0, domain, child_rows)})
+    catalog.add_table("R4", {"D": rng.integers(0, domain, child_rows)})
+    catalog.add_table("R5", {"E": rng.integers(0, domain, child_rows),
+                             "F": rng.integers(0, domain, child_rows)})
+    catalog.add_table("R6", {"F": rng.integers(0, domain, child_rows),
+                             "G": rng.integers(0, 5, child_rows)})
+    return catalog
+
+
+def bench_warm_qps(catalog, execution, num_queries):
+    """Plan-cache-hit QPS on a single-threaded session."""
+    session = QuerySession(catalog, partitioning="off", execution=execution)
+    first = session.execute(SQL)  # plan + cache, untimed
+    assert first.ok, first.error
+    start = time.perf_counter()
+    for _ in range(num_queries):
+        report = session.execute(SQL)
+        assert report.ok, report.error
+        assert report.result.output_size == first.result.output_size
+    wall = time.perf_counter() - start
+    return {
+        "execution": execution,
+        "queries": num_queries,
+        "qps": round(num_queries / wall, 1),
+        "mean_latency_ms": round(wall / num_queries * 1e3, 3),
+        "output_size": int(first.result.output_size),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI gate: reduced sizes, same >= "
+             f"{MIN_WARM_SPEEDUP:.0f}x warm-speedup assertion",
+    )
+    args = parser.parse_args(argv)
+
+    sizes = SMOKE_SIZES if args.smoke else SIZES
+    rng = np.random.default_rng(7)
+    start = time.perf_counter()
+
+    micro = bench_micro(sizes, rng)
+    for row in micro:
+        print(f"{row['kernel']:>22} n={row['size']:<8} "
+              f"vect={row['vectorized_ms']:>9.3f}ms "
+              f"interp={row['interpreted_ms']:>9.3f}ms "
+              f"speedup={row['speedup']}x")
+
+    catalog = make_catalog()
+    warm = {}
+    for execution in ("vectorized", "interpreted"):
+        warm[execution] = bench_warm_qps(
+            catalog, execution, sizes["warm_queries"])
+        print(f"warm {execution:>11}: {warm[execution]['qps']:>8} qps "
+              f"({warm[execution]['mean_latency_ms']} ms/query)")
+    speedup = warm["vectorized"]["qps"] / warm["interpreted"]["qps"]
+    print(f"warm end-to-end speedup: {speedup:.2f}x")
+
+    record = {
+        "benchmark": "vectorized_kernels",
+        "smoke": args.smoke,
+        "host": {"cpus": os.cpu_count() or 1},
+        "query": "6-relation running example (selectivity-balanced)",
+        "micro": micro,
+        "warm": [warm["vectorized"], warm["interpreted"]],
+        "warm_speedup": round(speedup, 2),
+        "min_warm_speedup_gate": MIN_WARM_SPEEDUP,
+        "total_seconds": round(time.perf_counter() - start, 2),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"[saved to {RESULTS_PATH}]")
+
+    assert speedup >= MIN_WARM_SPEEDUP, (
+        f"vectorized warm QPS only {speedup:.2f}x the interpreted path "
+        f"(gate: {MIN_WARM_SPEEDUP}x)"
+    )
+    return record
+
+
+if __name__ == "__main__":
+    main()

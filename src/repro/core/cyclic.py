@@ -493,18 +493,25 @@ def exact_equal(values_a, values_b):
         return values_a == values_b
 
 
-def _base_values(catalog, relation, attr, rows):
+def _base_values(catalog, relation, attr, rows, kernels):
     """Column values for *base* row ids (layout-independent).
 
-    ``gather`` translates base ids through a
+    The gather translates base ids through a
     :class:`~repro.storage.partition.PartitionedTable`'s physical
     permutation (and is the identity for ordinary tables), which is
     what lets residual filters run against hash-partitioned catalogs.
     """
-    return catalog.table(relation).gather(rows, columns=[attr])[attr]
+    return kernels.gather(catalog.table(relation), attr, rows)
 
 
-def _filter_batch(catalog, residuals, batch, counters=None, collect=True):
+def _default_kernels():
+    from ..engine.kernels import get_kernels
+
+    return get_kernels("vectorized")
+
+
+def _filter_batch(catalog, residuals, batch, counters=None, collect=True,
+                  kernels=None):
     """Apply the residual filters to one flat batch of base row ids.
 
     Filters are progressive: each predicate is evaluated only on the
@@ -512,8 +519,12 @@ def _filter_batch(catalog, residuals, batch, counters=None, collect=True):
     accounting, and identical across batch splits since surviving
     counts are additive).  Returns ``(survivors, filtered_rows)``;
     ``filtered_rows`` is ``None`` unless ``collect`` — counting a
-    result must not materialize it.
+    result must not materialize it.  ``kernels`` selects the execution
+    kernels the value gathers and equality comparisons run on
+    (defaults to the vectorized set).
     """
+    if kernels is None:
+        kernels = _default_kernels()
     if not batch:
         return 0, ({} if collect else None)
     keep = None
@@ -525,11 +536,11 @@ def _filter_batch(catalog, residuals, batch, counters=None, collect=True):
             rows_b = rows_b[keep]
         if counters is not None:
             counters.residual_checks += len(rows_a)
-        match = exact_equal(
+        match = kernels.equal_mask(
             _base_values(catalog, predicate.relation_a, predicate.attr_a,
-                         rows_a),
+                         rows_a, kernels),
             _base_values(catalog, predicate.relation_b, predicate.attr_b,
-                         rows_b),
+                         rows_b, kernels),
         )
         keep = np.flatnonzero(match) if keep is None else keep[match]
     if keep is None:
@@ -540,15 +551,23 @@ def _filter_batch(catalog, residuals, batch, counters=None, collect=True):
     return len(keep), {rel: rows[keep] for rel, rows in batch.items()}
 
 
-def apply_residuals(catalog, residuals, rows_by_relation, counters=None):
+def apply_residuals(catalog, residuals, rows_by_relation, counters=None,
+                    execution=None):
     """Filter flat result rows (base row ids) by the residual predicates.
 
     Progressive and exact (:func:`exact_equal`); ``counters``
     optionally accumulates the per-filter comparison counts into
     :attr:`~repro.engine.executor.ExecutionCounters.residual_checks`.
+    ``execution`` picks the kernel path (``None`` → vectorized).
     """
+    kernels = None
+    if execution is not None:
+        from ..engine.kernels import get_kernels, resolve_execution
+
+        kernels = get_kernels(resolve_execution(execution))
     _, filtered = _filter_batch(catalog, residuals, rows_by_relation,
-                                counters=counters, collect=True)
+                                counters=counters, collect=True,
+                                kernels=kernels)
     return filtered
 
 
@@ -578,6 +597,7 @@ def execute_cyclic(
     expansion_batch=8192,
     max_intermediate_tuples=50_000_000,
     child_orders=None,
+    execution="auto",
 ):
     """Evaluate a (possibly cyclic) plan: tree join + residual filters.
 
@@ -595,11 +615,16 @@ def execute_cyclic(
     acyclic ``flat_output`` run), and each residual comparison bumps
     ``residual_checks``.  Works on hash-partitioned catalogs: engine
     results report base row ids, and residual values are gathered in
-    base-row-id space.
+    base-row-id space.  ``execution`` selects the kernel path for both
+    the tree join and the residual stage (see
+    :func:`repro.engine.executor.execute`).
     """
     from ..engine.executor import BudgetExceededError, execute
+    from ..engine.kernels import get_kernels, resolve_execution
 
     mode = ExecutionMode(mode)
+    execution = resolve_execution(execution)
+    kernels = get_kernels(execution)
     query = plan.query
     if not plan.residuals:
         result = execute(
@@ -608,6 +633,7 @@ def execute_cyclic(
             child_orders=child_orders,
             expansion_batch=expansion_batch,
             max_intermediate_tuples=max_intermediate_tuples,
+            execution=execution,
         )
         return result.output_size, result, result.output_rows
 
@@ -618,6 +644,7 @@ def execute_cyclic(
             flat_output=False, collect_output=False,
             child_orders=child_orders,
             max_intermediate_tuples=max_intermediate_tuples,
+            execution=execution,
         )
         pre_filter = result.output_size
         if pre_filter > max_intermediate_tuples:
@@ -628,7 +655,8 @@ def execute_cyclic(
         # (pre-filter) tuple is generated work.
         result.counters.tuples_generated += pre_filter
         batches = result.factorized.expand(
-            batch_entries=expansion_batch, max_rows=4_000_000
+            batch_entries=expansion_batch, max_rows=4_000_000,
+            kernels=kernels,
         )
     else:
         # Flat pipelines materialize the full frame at their last join
@@ -641,6 +669,7 @@ def execute_cyclic(
             child_orders=child_orders,
             expansion_batch=expansion_batch,
             max_intermediate_tuples=max_intermediate_tuples,
+            execution=execution,
         )
         pre_filter = result.output_size
         batches = _row_batches(result.output_rows or {}, expansion_batch)
@@ -652,6 +681,7 @@ def execute_cyclic(
         batch_size, filtered = _filter_batch(
             catalog, plan.residuals, batch,
             counters=result.counters, collect=collect_output,
+            kernels=kernels,
         )
         total += batch_size
         if collected is not None and batch_size:

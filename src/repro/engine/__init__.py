@@ -1,4 +1,13 @@
-"""Vectorized query execution engine (Section 4)."""
+"""Query execution engine (Section 4): pipelines + swappable kernels.
+
+The pipelines (:mod:`~repro.engine.executor`,
+:mod:`~repro.engine.semijoin`, :mod:`~repro.engine.factorized`) encode
+the paper's six strategies; the data-plane primitives they run on —
+probes, gathers, repeats, mask evaluation — live behind the kernel
+interface of :mod:`~repro.engine.kernels`, selectable per execution via
+the ``execution`` knob (``"vectorized"`` NumPy kernels or the
+pure-Python ``"interpreted"`` oracle, bit-identical by construction).
+"""
 
 from .bitvector import BitvectorFilter, default_num_bits
 from .executor import (
@@ -8,17 +17,29 @@ from .executor import (
     execute,
 )
 from .factorized import FactorizedNode, FactorizedResult
+from .kernels import (
+    EXECUTION_CHOICES,
+    InterpretedKernels,
+    VectorizedKernels,
+    get_kernels,
+    resolve_execution,
+)
 from .semijoin import ReductionResult, full_reduction
 
 __all__ = [
     "BitvectorFilter",
     "BudgetExceededError",
+    "EXECUTION_CHOICES",
     "ExecutionCounters",
     "ExecutionResult",
     "FactorizedNode",
     "FactorizedResult",
+    "InterpretedKernels",
     "ReductionResult",
+    "VectorizedKernels",
     "default_num_bits",
     "execute",
     "full_reduction",
+    "get_kernels",
+    "resolve_execution",
 ]

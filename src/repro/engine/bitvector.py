@@ -59,6 +59,15 @@ class BitvectorFilter:
             return np.zeros(0, dtype=bool)
         return self.bits[_mix(keys) & self._mask]
 
+    def contains_one(self, key):
+        """Single-key membership check (the interpreted kernels' probe).
+
+        Hashes through the same vectorized mixer on a 1-element array,
+        so a tuple-at-a-time loop over ``contains_one`` is bit-identical
+        to one :meth:`might_contain` batch.
+        """
+        return bool(self.might_contain(np.asarray([key]))[0])
+
     @property
     def fill_fraction(self):
         """Fraction of set bits — the expected false-positive rate."""

@@ -23,6 +23,7 @@ from ..core.costmodel import CostWeights
 from ..modes import ExecutionMode
 from .bitvector import BitvectorFilter
 from .factorized import FactorizedResult
+from .kernels import get_kernels, resolve_execution
 from .semijoin import full_reduction
 
 __all__ = [
@@ -108,6 +109,8 @@ class ExecutionResult:
     reduction_seconds: float = 0.0
     #: max shard fan-out among the build-side indexes (1 = unpartitioned)
     shards_used: int = 1
+    #: resolved kernel path the run used ("vectorized" / "interpreted")
+    execution: str = "vectorized"
 
     def weighted_cost(self, weights=CostWeights()):
         return self.counters.weighted_cost(weights)
@@ -142,7 +145,7 @@ def _build_bitvectors(query, catalog, reduction=None, num_bits=None):
     return filters
 
 
-def _remap_factorized_rows(result, catalog):
+def _remap_factorized_rows(result, catalog, kernels):
     """Translate a finished factorized result to base-table row ids.
 
     During the pipeline, node rows are physical (re-clustered) ids —
@@ -154,7 +157,7 @@ def _remap_factorized_rows(result, catalog):
     ``output_rows``.
     """
     for relation, node in result.nodes.items():
-        node.rows = catalog.table(relation).original_rows(node.rows)
+        node.rows = kernels.original_rows(catalog.table(relation), node.rows)
 
 
 def _build_indexes(query, catalog, reduction=None):
@@ -176,7 +179,7 @@ def _build_indexes(query, catalog, reduction=None):
 
 
 def _run_factorized(query, catalog, order, indexes, bitvectors, checks_after,
-                    counters, budget, driver_rows):
+                    counters, budget, driver_rows, kernels):
     result = FactorizedResult(query, driver_rows)
 
     def apply_check(relation_checked):
@@ -187,7 +190,7 @@ def _run_factorized(query, catalog, order, indexes, bitvectors, checks_after,
             parent_node.rows[alive_idx]
         ]
         counters.bitvector_probes += len(keys)
-        keep = bitvectors[relation_checked].might_contain(keys)
+        keep = kernels.bitvector_contains(bitvectors[relation_checked], keys)
         if not keep.all():
             parent_node.alive[alive_idx[~keep]] = False
             result.propagate_deaths()
@@ -204,7 +207,7 @@ def _run_factorized(query, catalog, order, indexes, bitvectors, checks_after,
             parent_node.rows[alive_idx]
         ]
         counters.count_hash_probes(relation, len(keys))
-        lookup = indexes[relation].lookup(keys)
+        lookup = kernels.lookup(indexes[relation], keys)
         matched = lookup.matched_mask
         if not matched.all():
             parent_node.alive[alive_idx[~matched]] = False
@@ -212,7 +215,8 @@ def _run_factorized(query, catalog, order, indexes, bitvectors, checks_after,
         if total_matches > budget:
             raise BudgetExceededError("COM", relation, total_matches, budget)
         matches = lookup.matching_rows()
-        parent_ptr = np.repeat(alive_idx[matched], lookup.counts[matched])
+        parent_ptr = kernels.repeat_rows(alive_idx[matched],
+                                         lookup.counts[matched])
         result.add_node(relation, matches, parent_ptr)
         counters.tuples_generated += len(matches)
         result.propagate_deaths()
@@ -239,6 +243,7 @@ def execute(
     bitvector_bits=None,
     expansion_batch=8192,
     max_intermediate_tuples=50_000_000,
+    execution="auto",
 ):
     """Execute ``query`` in the given join ``order`` under ``mode``.
 
@@ -262,8 +267,16 @@ def execute(
     max_intermediate_tuples:
         Abort with :class:`BudgetExceededError` beyond this size — the
         reproduction's equivalent of the paper's query timeouts.
+    execution:
+        ``"vectorized"`` (NumPy kernels, the default resolution),
+        ``"interpreted"`` (the pure-Python tuple-at-a-time oracle) or
+        ``"auto"`` (the :data:`~repro.engine.kernels.REPRO_EXECUTION`
+        environment override, else vectorized).  Both paths produce
+        bit-identical results and :class:`ExecutionCounters`.
     """
     mode = ExecutionMode(mode)
+    execution = resolve_execution(execution)
+    kernels = get_kernels(execution)
     if order is None:
         order = list(query.non_root_relations)
     query.validate_order(order)
@@ -273,7 +286,8 @@ def execute(
     reduction = None
     reduction_seconds = 0.0
     if mode.uses_semijoin:
-        reduction = full_reduction(query, catalog, child_orders=child_orders)
+        reduction = full_reduction(query, catalog, child_orders=child_orders,
+                                   kernels=kernels)
         counters.semijoin_probes += reduction.semijoin_probes
         reduction_seconds = time.perf_counter() - start
 
@@ -300,10 +314,10 @@ def execute(
     if mode.factorized:
         factorized = _run_factorized(
             query, catalog, order, indexes, bitvectors, checks_after,
-            counters, max_intermediate_tuples, driver_rows,
+            counters, max_intermediate_tuples, driver_rows, kernels,
         )
         output_size = factorized.count_rows()
-        _remap_factorized_rows(factorized, catalog)
+        _remap_factorized_rows(factorized, catalog, kernels)
         if flat_output:
             # Expansion step: generate the flat result batch-at-a-time
             # (kept only if requested); each generated tuple is work.
@@ -317,6 +331,7 @@ def execute(
             for batch in factorized.expand(
                 batch_entries=expansion_batch,
                 max_rows=4_000_000,
+                kernels=kernels,
             ):
                 if collected is not None:
                     collected.append(batch)
@@ -334,7 +349,7 @@ def execute(
     else:
         frame = _run_flat_driver(
             query, catalog, order, indexes, bitvectors, checks_after,
-            counters, max_intermediate_tuples, driver_rows,
+            counters, max_intermediate_tuples, driver_rows, kernels,
         )
         output_size = len(next(iter(frame.values()))) if frame else 0
         if collect_output:
@@ -343,7 +358,7 @@ def execute(
             # layout-independent (the identity for ordinary tables).
             # The factorized branch already remapped its node rows.
             output_rows = {
-                rel: catalog.table(rel).original_rows(rows)
+                rel: kernels.original_rows(catalog.table(rel), rows)
                 for rel, rows in frame.items()
             }
 
@@ -359,11 +374,12 @@ def execute(
         index_build_seconds=index_build_seconds,
         reduction_seconds=reduction_seconds,
         shards_used=shards_used,
+        execution=execution,
     )
 
 
 def _run_flat_driver(query, catalog, order, indexes, bitvectors, checks_after,
-                     counters, budget, driver_rows):
+                     counters, budget, driver_rows, kernels):
     """STD pipeline starting from an explicit driver row set."""
     frame = {query.root: np.asarray(driver_rows, dtype=np.int64)}
 
@@ -372,7 +388,7 @@ def _run_flat_driver(query, catalog, order, indexes, bitvectors, checks_after,
         parent_rows = frame[edge.parent]
         keys = catalog.table(edge.parent).column(edge.parent_attr)[parent_rows]
         counters.bitvector_probes += len(keys)
-        keep = bitvectors[relation_checked].might_contain(keys)
+        keep = kernels.bitvector_contains(bitvectors[relation_checked], keys)
         for rel in list(frame):
             frame[rel] = frame[rel][keep]
 
@@ -385,13 +401,14 @@ def _run_flat_driver(query, catalog, order, indexes, bitvectors, checks_after,
         parent_rows = frame[edge.parent]
         keys = catalog.table(edge.parent).column(edge.parent_attr)[parent_rows]
         counters.count_hash_probes(relation, len(keys))
-        lookup = indexes[relation].lookup(keys)
+        lookup = kernels.lookup(indexes[relation], keys)
         total_matches = int(lookup.counts.sum())
         if total_matches > budget:
             raise BudgetExceededError("STD", relation, total_matches, budget)
         matches = lookup.matching_rows()
         repeat = lookup.counts
-        frame = {rel: np.repeat(rows, repeat) for rel, rows in frame.items()}
+        frame = {rel: kernels.repeat_rows(rows, repeat)
+                 for rel, rows in frame.items()}
         frame[relation] = matches
         counters.tuples_generated += len(matches)
         if bitvectors is not None:

@@ -22,8 +22,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..storage.hashindex import concat_ranges
-
 __all__ = ["FactorizedNode", "FactorizedResult"]
 
 
@@ -162,7 +160,7 @@ class FactorizedResult:
         """Total factorized entries (the compressed size)."""
         return sum(len(node) for node in self.nodes.values())
 
-    def expand(self, batch_entries=None, max_rows=None):
+    def expand(self, batch_entries=None, max_rows=None, kernels=None):
         """Yield flat result batches as ``{relation: row_index_array}``.
 
         Breadth-first expansion: driver entries are processed in batches
@@ -175,7 +173,16 @@ class FactorizedResult:
         driver entries are grouped so that each batch expands to at most
         ``max_rows`` tuples (single entries exceeding the cap get a
         batch of their own), bounding peak memory during expansion.
+
+        ``kernels`` selects the execution kernels the per-entry cross
+        products run on (defaults to the vectorized set); the one-time
+        grouping of child entries by parent pointer is structure work
+        and stays shared.
         """
+        if kernels is None:
+            from .kernels import get_kernels
+
+            kernels = get_kernels("vectorized")
         driver = self.nodes[self.query.root]
         alive_driver = driver.alive_indices()
         if len(alive_driver) == 0:
@@ -185,13 +192,13 @@ class FactorizedResult:
         if max_rows is not None:
             weights = self._subtree_weights()[self.query.root][alive_driver]
             yield from self._expand_weight_bounded(
-                alive_driver, weights, batch_entries, max_rows
+                alive_driver, weights, batch_entries, max_rows, kernels
             )
             return
         grouped = self._grouped_children()
         for begin in range(0, len(alive_driver), batch_entries):
             batch = alive_driver[begin:begin + batch_entries]
-            yield self._expand_batch(batch, grouped)
+            yield self._expand_batch(batch, grouped, kernels)
 
     def _grouped_children(self):
         """Per node: alive entries grouped (sorted) by parent pointer."""
@@ -210,7 +217,7 @@ class FactorizedResult:
             grouped[relation] = (sorted_entries, starts, counts)
         return grouped
 
-    def _expand_batch(self, driver_entries, grouped):
+    def _expand_batch(self, driver_entries, grouped, kernels):
         """Cross one batch of driver entries with every joined node."""
         frame = {self.query.root: driver_entries}
         for relation in self._joined_preorder():
@@ -220,9 +227,11 @@ class FactorizedResult:
             parent_entries = frame[parent_rel]
             sorted_entries, starts, counts = grouped[relation]
             per_tuple_counts = counts[parent_entries]
-            positions = concat_ranges(starts[parent_entries], per_tuple_counts)
+            positions = kernels.concat_ranges(
+                starts[parent_entries], per_tuple_counts
+            )
             frame = {
-                rel: np.repeat(entries, per_tuple_counts)
+                rel: kernels.repeat_rows(entries, per_tuple_counts)
                 for rel, entries in frame.items()
             }
             frame[relation] = sorted_entries[positions]
@@ -232,7 +241,7 @@ class FactorizedResult:
         }
 
     def _expand_weight_bounded(self, alive_driver, weights, batch_entries,
-                               max_rows):
+                               max_rows, kernels):
         """Batches capped both by entry count and by expanded row count."""
         grouped = self._grouped_children()
         begin = 0
@@ -247,7 +256,7 @@ class FactorizedResult:
             ):
                 total += weights[end]
                 end += 1
-            yield self._expand_batch(alive_driver[begin:end], grouped)
+            yield self._expand_batch(alive_driver[begin:end], grouped, kernels)
             begin = end
 
     def expand_all(self):

@@ -58,14 +58,20 @@ class ReductionResult:
         return index
 
 
-def full_reduction(query, catalog, child_orders=None):
+def full_reduction(query, catalog, child_orders=None, kernels=None):
     """Run the bottom-up semi-join pass; return a :class:`ReductionResult`.
 
     ``child_orders`` optionally fixes, per internal relation, the order
     in which its children are semi-joined (the optimizer picks
     increasing adjusted match probability ``m'``; any order yields the
-    same reduction, only the probe count differs).
+    same reduction, only the probe count differs).  ``kernels`` selects
+    the execution kernels the membership probes run on (defaults to the
+    vectorized set); index builds are structure work and stay shared.
     """
+    if kernels is None:
+        from .kernels import get_kernels
+
+        kernels = get_kernels("vectorized")
     child_orders = child_orders or {}
     result = ReductionResult(query)
     for relation in query.postorder():
@@ -85,6 +91,6 @@ def full_reduction(query, catalog, child_orders=None):
             keys = table.column(edge.parent_attr)[rows]
             index = result.reduced_index(catalog, child, edge.child_attr)
             result.semijoin_probes += len(rows)
-            rows = rows[index.contains(keys)]
+            rows = rows[kernels.contains(index, keys)]
         result.reduced_rows[relation] = rows
     return result

@@ -71,6 +71,10 @@ from .core.stats import (
     stats_from_data,
 )
 from .engine.executor import execute
+from .engine.kernels import (
+    EXECUTION_CHOICES,
+    resolve_execution as _resolve_kernel_execution,
+)
 from .modes import ExecutionMode
 from .storage.partition import partition_replacements
 from .storage.table import Catalog, Table
@@ -170,6 +174,9 @@ class PhysicalPlan:
     residuals: tuple = ()
     #: estimated selectivity per residual (aligned with :attr:`residuals`)
     residual_selectivities: tuple = ()
+    #: resolved kernel path ("vectorized" / "interpreted") the plan
+    #: executes with — part of the fingerprint and the plan-cache key
+    execution: str = "vectorized"
 
     @property
     def is_cyclic(self):
@@ -193,6 +200,7 @@ class PhysicalPlan:
                 collect_output=collect_output,
                 max_intermediate_tuples=max_intermediate_tuples,
                 child_orders=self.child_orders or None,
+                execution=self.execution,
             )
             return result
         return execute(
@@ -204,6 +212,7 @@ class PhysicalPlan:
             collect_output=collect_output,
             child_orders=self.child_orders or None,
             max_intermediate_tuples=max_intermediate_tuples,
+            execution=self.execution,
         )
 
     def fingerprint(self):
@@ -230,6 +239,7 @@ class PhysicalPlan:
             )),
             tuple(residual.key for residual in self.residuals),
             self.num_shards,
+            self.execution,
             self.catalog.fingerprint(),
         ))
         return hashlib.blake2b(payload.encode(), digest_size=16).hexdigest()
@@ -296,6 +306,7 @@ class PhysicalPlan:
             catalog_fingerprint=catalog_fingerprint,
             residuals=tuple(self.residuals),
             residual_selectivities=tuple(self.residual_selectivities),
+            execution=self.execution,
         )
 
     def __repr__(self):
@@ -344,6 +355,9 @@ class PlanSpec:
     catalog_fingerprint: str
     residuals: tuple = ()
     residual_selectivities: tuple = ()
+    #: resolved kernel path the plan executes with (defaults keep specs
+    #: pickled before this field existed rehydratable)
+    execution: str = "vectorized"
 
     def __repr__(self):
         residuals = (
@@ -435,6 +449,15 @@ class Planner:
         incumbent total cost, so raising the cap only ever matches or
         improves the chosen plan at more planning time.  Part of the
         service layer's plan-cache key.
+    execution:
+        Default kernel path planned queries execute with:
+        ``"vectorized"`` (NumPy kernels), ``"interpreted"`` (the
+        pure-Python tuple-at-a-time oracle — bit-identical results and
+        counters, orders of magnitude slower) or ``"auto"`` (the
+        ``REPRO_EXECUTION`` environment override, else vectorized).
+        Resolved at plan time; the resolved value is stored on the
+        plan, covered by its fingerprint, and part of the service
+        layer's plan-cache key.  Overridable per :meth:`plan` call.
     """
 
     #: optimizer choices exposed to ``plan()`` — ``"auto"`` resolves by
@@ -444,7 +467,8 @@ class Planner:
 
     def __init__(self, catalog, weights=None, eps=0.01, stats_cache=None,
                  idp_block_size=8, beam_width=8, planning_budget_ms=None,
-                 partitioning="off", max_spanning_trees=16):
+                 partitioning="off", max_spanning_trees=16,
+                 execution="auto"):
         self.catalog = catalog
         self.weights = weights or CostWeights()
         self.eps = eps
@@ -473,6 +497,12 @@ class Planner:
                 f"got {max_spanning_trees!r}"
             )
         self.max_spanning_trees = max_spanning_trees
+        if execution not in EXECUTION_CHOICES:
+            raise ValueError(
+                f"execution must be one of {EXECUTION_CHOICES}, "
+                f"got {execution!r}"
+            )
+        self.execution = execution
         # Two levels of content-addressed partitioning reuse: whole
         # derived catalogs (so exact-repeat plan() calls share built
         # sharded indexes) and the re-clustered replacement tables
@@ -569,6 +599,20 @@ class Planner:
         if partitioning is None:
             partitioning = self.partitioning
         return AUTO_MIN_ROWS_PER_SHARD if partitioning == "auto" else 0
+
+    def resolve_execution(self, execution=None):
+        """The concrete kernel path a query will execute with.
+
+        ``None`` falls back to the planner default; ``"auto"`` resolves
+        via the ``REPRO_EXECUTION`` environment variable (else
+        vectorized); explicit choices resolve to themselves.  The
+        resolved name is part of the service layer's plan-cache key,
+        mirroring :meth:`resolve_optimizer` /
+        :meth:`resolve_partitioning`.
+        """
+        if execution is None:
+            execution = self.execution
+        return _resolve_kernel_execution(execution)
 
     @staticmethod
     def resolve_optimizer(optimizer, num_relations, planning_budget_ms=None):
@@ -899,6 +943,7 @@ class Planner:
         partitioning=None,
         planning_budget_ms=None,
         tree_search="joint",
+        execution=None,
     ):
         """Build a :class:`PhysicalPlan`.
 
@@ -952,6 +997,12 @@ class Planner:
             against the incumbent.  ``"greedy"`` evaluates only the
             Kruskal minimum-selectivity tree (the historical
             behaviour, exposed as the benchmark baseline).
+        execution:
+            ``"vectorized"``, ``"interpreted"`` or ``"auto"``; ``None``
+            (default) uses the planner's configured default.  Both
+            paths produce bit-identical results and counters — the
+            knob never changes the chosen plan, only the kernels it
+            runs on.
         """
         if optimizer not in self.OPTIMIZERS:
             raise ValueError(
@@ -967,6 +1018,7 @@ class Planner:
             time.perf_counter() + planning_budget_ms / 1e3
             if planning_budget_ms else None
         )
+        execution = self.resolve_execution(execution)
         prep = self._prepare(query, partitioning, stats)
         join_query = prep.join_query
         num_relations = (
@@ -984,11 +1036,12 @@ class Planner:
         if join_query is None:
             return self._plan_cyclic(
                 prep, modes, optimizer, driver, stats, deadline,
-                tree_search,
+                tree_search, execution,
             )
         if driver == "auto" and join_query.num_relations > 1:
             return self._plan_driver_auto(
-                prep, modes, optimizer, stats, flat_output, deadline
+                prep, modes, optimizer, stats, flat_output, deadline,
+                execution,
             )
         best = None
         rooted = join_query
@@ -1015,6 +1068,7 @@ class Planner:
                     child_orders=child_orders,
                     weights=self.weights,
                     num_shards=prep.effective_shards,
+                    execution=execution,
                 )
         return best
 
@@ -1086,7 +1140,7 @@ class Planner:
         return directed, sizes
 
     def _plan_driver_auto(self, prep, modes, optimizer, stats, flat_output,
-                          deadline):
+                          deadline, execution):
         """The cross-rooting driver search (see :meth:`plan`).
 
         Three coordinated optimizations over the naive
@@ -1192,6 +1246,7 @@ class Planner:
                         child_orders=child_orders,
                         weights=self.weights,
                         num_shards=prep.effective_shards,
+                        execution=execution,
                     )
         return best
 
@@ -1270,7 +1325,7 @@ class Planner:
         return directed, sizes
 
     def _plan_cyclic(self, prep, modes, optimizer, driver, stats, deadline,
-                     tree_search):
+                     tree_search, execution):
         """Joint spanning-tree + join-order search for a cyclic query.
 
         The cyclic analogue of :meth:`_plan_driver_auto`, one level up:
@@ -1421,6 +1476,7 @@ class Planner:
                             num_shards=1,
                             residuals=residuals,
                             residual_selectivities=residual_sels,
+                            execution=execution,
                         )
         # Partitioning follows the winning tree's probe attributes, so
         # it is applied only now (content-addressed, like every plan).
@@ -1491,4 +1547,5 @@ class Planner:
             residual_selectivities=tuple(
                 getattr(spec, "residual_selectivities", ())
             ),
+            execution=getattr(spec, "execution", "vectorized"),
         )

@@ -329,6 +329,7 @@ class AsyncQueryService:
                             "partitioning": planner.partitioning,
                             "max_spanning_trees":
                                 planner.max_spanning_trees,
+                            "execution": planner.execution,
                         },
                     ),
                 )

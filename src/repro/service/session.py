@@ -185,12 +185,18 @@ class QuerySession:
         :class:`~repro.planner.Planner` and part of the plan-cache key
         (a plan found under a wider tree search must not be mistaken
         for a narrower one's).
+    execution:
+        Default kernel path (``"vectorized"`` / ``"interpreted"`` /
+        ``"auto"``), forwarded to the :class:`~repro.planner.Planner`;
+        the *resolved* path is part of the plan-cache key, so switching
+        kernels misses instead of serving a plan pinned to the other
+        path.
     """
 
     def __init__(self, catalog, weights=None, eps=0.01, plan_cache_size=128,
                  stats_cache_size=256, idp_block_size=8, beam_width=8,
                  planning_budget_ms=None, partitioning="off",
-                 max_spanning_trees=16):
+                 max_spanning_trees=16, execution="auto"):
         self.catalog = catalog
         self.planner = Planner(
             catalog, weights=weights, eps=eps,
@@ -199,6 +205,7 @@ class QuerySession:
             planning_budget_ms=planning_budget_ms,
             partitioning=partitioning,
             max_spanning_trees=max_spanning_trees,
+            execution=execution,
         )
         self.plan_cache = PlanCache(plan_cache_size)
         self._last_fingerprint = None
@@ -209,7 +216,7 @@ class QuerySession:
 
     def _plan_options(self, mode, resolved_optimizer, driver, stats,
                       flat_output, resolved_shards, partition_floor,
-                      budget_ms, tree_search):
+                      budget_ms, tree_search, resolved_execution):
         # Keyed on the *resolved* algorithm and shard count (never the
         # raw "auto"), so an auto-planned query and an explicit request
         # for the same resolution share one cache entry.  The scaling
@@ -237,6 +244,9 @@ class QuerySession:
             # determine which spanning tree the plan resolved to
             tree_search,
             self.planner.max_spanning_trees,
+            # resolved kernel path (never the raw "auto"): a plan pinned
+            # to one path must not serve a request for the other
+            resolved_execution,
         )
 
     @staticmethod
@@ -249,7 +259,7 @@ class QuerySession:
     def cache_key(self, query, mode="auto", optimizer="exhaustive",
                   driver="fixed", stats="exact", flat_output=True,
                   partitioning=None, planning_budget_ms=None,
-                  tree_search="joint"):
+                  tree_search="joint", execution=None):
         """The plan-cache key :meth:`plan` would use for this request.
 
         Also maintains the fingerprint guard (a catalog content change
@@ -279,19 +289,20 @@ class QuerySession:
         partition_floor = self.planner.resolve_partition_floor(
             partitioning
         )
+        resolved_execution = self.planner.resolve_execution(execution)
         return self.plan_cache.key(
             query,
             fingerprint,
             self._plan_options(mode, resolved, driver, stats,
                                flat_output, resolved_shards,
                                partition_floor, planning_budget_ms,
-                               tree_search),
+                               tree_search, resolved_execution),
         )
 
     def plan(self, query, mode="auto", optimizer="exhaustive", driver="fixed",
              stats="exact", flat_output=True, use_cache=True,
              partitioning=None, planning_budget_ms=None,
-             tree_search="joint"):
+             tree_search="joint", execution=None):
         """A :class:`~repro.planner.PhysicalPlan`, via the plan cache.
 
         Accepts the same arguments as :meth:`Planner.plan` (including
@@ -312,13 +323,14 @@ class QuerySession:
             stats=stats, flat_output=flat_output, use_cache=use_cache,
             partitioning=partitioning,
             planning_budget_ms=planning_budget_ms,
-            tree_search=tree_search,
+            tree_search=tree_search, execution=execution,
         )[0]
 
     def _plan_with_hit(self, query, mode="auto", optimizer="exhaustive",
                        driver="fixed", stats="exact", flat_output=True,
                        use_cache=True, partitioning=None,
-                       planning_budget_ms=None, tree_search="joint"):
+                       planning_budget_ms=None, tree_search="joint",
+                       execution=None):
         """``(plan, cache_hit)`` — :meth:`plan` plus a race-free hit flag.
 
         The flag comes from *this call's own* cache lookup, never from
@@ -335,7 +347,7 @@ class QuerySession:
                 stats=stats, flat_output=flat_output,
                 partitioning=partitioning,
                 planning_budget_ms=planning_budget_ms,
-                tree_search=tree_search,
+                tree_search=tree_search, execution=execution,
             )
             plan = self.plan_cache.get(key)
             if plan is not None:
@@ -345,7 +357,7 @@ class QuerySession:
                 stats=stats, flat_output=flat_output,
                 partitioning=partitioning,
                 planning_budget_ms=planning_budget_ms,
-                tree_search=tree_search,
+                tree_search=tree_search, execution=execution,
             )
             self.plan_cache.put(key, plan)
             return plan, False
@@ -353,6 +365,7 @@ class QuerySession:
             query, mode=mode, optimizer=optimizer, driver=driver,
             stats=stats, flat_output=flat_output, partitioning=partitioning,
             planning_budget_ms=planning_budget_ms, tree_search=tree_search,
+            execution=execution,
         ), False
 
     def explain(self, query, **plan_kwargs):

@@ -127,6 +127,28 @@ class HashIndex:
         return len(self._order)
 
     @property
+    def key_dtype(self):
+        """Dtype of the indexed key column (probe batches are compared
+        in ``np.result_type(key_dtype, probe dtype)``)."""
+        return self._unique_keys.dtype
+
+    def iter_groups(self):
+        """Yield ``(key, [row ids])`` per distinct key, keys ascending.
+
+        Row ids appear in the same order :meth:`LookupResult.matching_rows`
+        reports them (the stable sort keeps equal keys in original row
+        order).  This is the hook the interpreted execution kernels use
+        to build their dict views of the index — plain Python scalars
+        and lists, derived once from the vectorized structure.
+        """
+        keys = self._unique_keys.tolist()
+        starts = self._starts.tolist()
+        counts = self._counts.tolist()
+        order = self._order.tolist()
+        for key, start, count in zip(keys, starts, counts):
+            yield key, order[start:start + count]
+
+    @property
     def num_distinct(self):
         return len(self._unique_keys)
 

@@ -310,6 +310,23 @@ class ShardedHashIndex:
         # shard key sets are disjoint and the counts simply add
         return sum(shard.num_distinct for shard in self._shards)
 
+    @property
+    def key_dtype(self):
+        """Dtype of the indexed key column (same in every shard)."""
+        return self._shards[0].key_dtype
+
+    def iter_groups(self):
+        """Yield ``(key, [row ids])`` per distinct key, shard by shard.
+
+        Shard key sets are disjoint (hash routing sends every
+        occurrence of a key to one shard), so chaining the per-shard
+        groups enumerates each distinct key exactly once; row ids
+        within a group keep index order, exactly as
+        :meth:`ShardedLookupResult.matching_rows` reports them.
+        """
+        for shard in self._shards:
+            yield from shard.iter_groups()
+
     def distinct_keys(self):
         keys = [shard.distinct_keys() for shard in self._shards]
         merged = np.concatenate(keys) if keys else np.empty(0, dtype=np.int64)
@@ -524,6 +541,11 @@ class PartitionedTable(Table):
     def original_rows(self, rows):
         """Map physical row ids back to the base table's row ids."""
         return self._base_rows[np.asarray(rows, dtype=np.int64)]
+
+    def base_row_ids(self):
+        """The physical-to-base permutation (see
+        :meth:`~repro.storage.Table.base_row_ids`)."""
+        return self._base_rows
 
     def physical_rows(self, rows):
         """Map base-table row ids to this layout's physical positions."""

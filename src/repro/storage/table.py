@@ -168,6 +168,16 @@ class Table:
         """
         return np.asarray(rows, dtype=np.int64)
 
+    def base_row_ids(self):
+        """The physical-to-base row permutation, or ``None``.
+
+        ``None`` means :meth:`original_rows` is the identity (ordinary
+        tables).  :class:`~repro.storage.partition.PartitionedTable`
+        returns its re-clustering permutation; the interpreted
+        execution kernels walk it row by row instead of fancy-indexing.
+        """
+        return None
+
     def build_hash_index(self, attribute, rows=None):
         """A hash index on ``attribute`` (optionally row-restricted).
 

@@ -1,0 +1,226 @@
+"""Unit tests for the execution-kernel layer.
+
+The interpreted kernels are the vectorized path's correctness oracle,
+so every primitive is checked for bit-identical agreement — including
+the dtype edge cases the exact-key semantics exist for (NaN keys,
+float/int mixes, huge ints at and beyond 2**53).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cyclic import exact_equal
+from repro.engine.bitvector import BitvectorFilter
+from repro.engine.kernels import (
+    EXECUTION_CHOICES,
+    INTERPRETED,
+    REPRO_EXECUTION,
+    VECTORIZED,
+    InterpretedKernels,
+    get_kernels,
+    resolve_execution,
+)
+from repro.storage.hashindex import HashIndex
+from repro.storage.partition import PartitionedTable, ShardedHashIndex
+from repro.storage.table import Table
+
+
+# ----------------------------------------------------------------------
+# Knob resolution
+# ----------------------------------------------------------------------
+
+
+def test_resolve_execution_defaults(monkeypatch):
+    monkeypatch.delenv(REPRO_EXECUTION, raising=False)
+    assert resolve_execution() == "vectorized"
+    assert resolve_execution("auto") == "vectorized"
+    assert resolve_execution("vectorized") == "vectorized"
+    assert resolve_execution("interpreted") == "interpreted"
+
+
+def test_resolve_execution_env_overrides_only_auto(monkeypatch):
+    monkeypatch.setenv(REPRO_EXECUTION, "interpreted")
+    assert resolve_execution("auto") == "interpreted"
+    assert resolve_execution(None) == "interpreted"
+    # explicit choices are never overridden
+    assert resolve_execution("vectorized") == "vectorized"
+
+
+def test_resolve_execution_rejects_invalid(monkeypatch):
+    with pytest.raises(ValueError, match="execution must be one of"):
+        resolve_execution("simd")
+    monkeypatch.setenv(REPRO_EXECUTION, "gpu")
+    with pytest.raises(ValueError, match=REPRO_EXECUTION):
+        resolve_execution("auto")
+
+
+def test_get_kernels_singletons(monkeypatch):
+    monkeypatch.delenv(REPRO_EXECUTION, raising=False)
+    assert get_kernels("vectorized") is VECTORIZED
+    assert get_kernels("interpreted") is INTERPRETED
+    assert get_kernels() is VECTORIZED
+    assert get_kernels("auto") is VECTORIZED
+    assert set(EXECUTION_CHOICES) == {"vectorized", "interpreted", "auto"}
+
+
+# ----------------------------------------------------------------------
+# Probe agreement on hash indexes
+# ----------------------------------------------------------------------
+
+
+def _assert_lookup_agreement(index, probes):
+    vect = VECTORIZED.lookup(index, probes)
+    interp = INTERPRETED.lookup(index, probes)
+    assert vect.counts.tolist() == interp.counts.tolist()
+    assert vect.matched_mask.tolist() == interp.matched_mask.tolist()
+    assert vect.total_matches() == interp.total_matches()
+    assert vect.matching_rows().tolist() == interp.matching_rows().tolist()
+    assert VECTORIZED.contains(index, probes).tolist() == \
+        INTERPRETED.contains(index, probes).tolist()
+
+
+def test_lookup_agreement_int_keys():
+    rng = np.random.default_rng(0)
+    keys = rng.integers(0, 25, 300)
+    probes = rng.integers(-5, 30, 200)
+    for index in (HashIndex(keys), ShardedHashIndex(keys, 4)):
+        _assert_lookup_agreement(index, probes)
+
+
+def test_lookup_agreement_float_keys_with_nan():
+    keys = np.asarray([1.5, 2.0, np.nan, 2.0, -0.0, np.nan, 7.25])
+    probes = np.asarray([2.0, np.nan, 1.5, 0.0, 3.0, 7.25, np.nan])
+    index = HashIndex(keys)
+    _assert_lookup_agreement(index, probes)
+    # NaN probes miss on both paths
+    assert not VECTORIZED.contains(index, np.asarray([np.nan]))[0]
+    assert not INTERPRETED.contains(index, np.asarray([np.nan]))[0]
+
+
+def test_lookup_agreement_int_build_float_probes_beyond_2_53():
+    # 2**53 and 2**53 + 1 collide after a float64 upcast; both paths
+    # must agree on which build group the collided probe resolves to
+    # (searchsorted's side="left" first position).
+    keys = np.asarray([2 ** 53, 2 ** 53 + 1, 10, 11], dtype=np.int64)
+    probes = np.asarray([float(2 ** 53), 10.0, 10.5, float(2 ** 53 + 2)])
+    _assert_lookup_agreement(HashIndex(keys), probes)
+
+
+def test_lookup_agreement_float_build_int_probes():
+    keys = np.asarray([1.0, 2.5, 3.0, np.nan])
+    probes = np.asarray([1, 2, 3, 4], dtype=np.int64)
+    _assert_lookup_agreement(HashIndex(keys), probes)
+
+
+def test_lookup_agreement_bool_keys():
+    keys = np.asarray([True, False, True, True])
+    probes = np.asarray([True, False])
+    _assert_lookup_agreement(HashIndex(keys), probes)
+
+
+def test_lookup_agreement_empty_index_and_empty_probes():
+    empty = HashIndex(np.asarray([], dtype=np.int64))
+    _assert_lookup_agreement(empty, np.asarray([1, 2], dtype=np.int64))
+    full = HashIndex(np.asarray([1, 2], dtype=np.int64))
+    _assert_lookup_agreement(full, np.asarray([], dtype=np.int64))
+
+
+def test_interpreted_view_cached_per_dtype():
+    kernels = InterpretedKernels()
+    keys = np.asarray([1, 2, 2, 3], dtype=np.int64)
+    index = HashIndex(keys)
+    kernels.lookup(index, np.asarray([1, 2], dtype=np.int64))
+    kernels.lookup(index, np.asarray([1.0, 2.0]))
+    views = kernels._group_views[index]
+    assert set(views) == {np.dtype(np.int64).str, np.dtype(np.float64).str}
+
+
+# ----------------------------------------------------------------------
+# Bitvector probes
+# ----------------------------------------------------------------------
+
+
+def test_bitvector_agreement():
+    rng = np.random.default_rng(1)
+    filt = BitvectorFilter(rng.integers(0, 1000, 200))
+    probes = rng.integers(0, 2000, 500)
+    assert VECTORIZED.bitvector_contains(filt, probes).tolist() == \
+        INTERPRETED.bitvector_contains(filt, probes).tolist()
+
+
+# ----------------------------------------------------------------------
+# Expansion primitives
+# ----------------------------------------------------------------------
+
+
+def test_repeat_rows_agreement():
+    values = np.asarray([5, 7, 9, 11], dtype=np.int64)
+    counts = np.asarray([0, 3, 1, 2], dtype=np.int64)
+    expected = np.repeat(values, counts)
+    assert VECTORIZED.repeat_rows(values, counts).tolist() == \
+        expected.tolist()
+    got = INTERPRETED.repeat_rows(values, counts)
+    assert got.tolist() == expected.tolist()
+    assert got.dtype == expected.dtype
+
+
+def test_concat_ranges_agreement():
+    starts = np.asarray([4, 0, 10], dtype=np.int64)
+    lengths = np.asarray([2, 0, 3], dtype=np.int64)
+    expected = [4, 5, 10, 11, 12]
+    assert VECTORIZED.concat_ranges(starts, lengths).tolist() == expected
+    assert INTERPRETED.concat_ranges(starts, lengths).tolist() == expected
+
+
+# ----------------------------------------------------------------------
+# Base-row-id remapping and gather
+# ----------------------------------------------------------------------
+
+
+def test_original_rows_and_gather_agreement():
+    rng = np.random.default_rng(2)
+    values = rng.integers(0, 50, 64)
+    payload = np.arange(64, dtype=np.int64)
+    plain = Table("t", {"k": values, "p": payload})
+    sharded = PartitionedTable.from_table(plain, "k", 4)
+    rows = rng.integers(0, 64, 40).astype(np.int64)
+    for table in (plain, sharded):
+        assert VECTORIZED.original_rows(table, rows).tolist() == \
+            INTERPRETED.original_rows(table, rows).tolist()
+        for attr in ("k", "p"):
+            vect = VECTORIZED.gather(table, attr, rows)
+            interp = INTERPRETED.gather(table, attr, rows)
+            assert vect.tolist() == interp.tolist()
+            assert vect.dtype == interp.dtype
+    # gather on a partitioned table takes *base* ids: values must match
+    # the plain table's column ordering regardless of re-clustering
+    assert VECTORIZED.gather(sharded, "p", rows).tolist() == \
+        payload[rows].tolist()
+
+
+def test_base_row_ids_identity_marker():
+    plain = Table("t", {"k": np.asarray([3, 1, 2], dtype=np.int64)})
+    assert plain.base_row_ids() is None
+    sharded = PartitionedTable.from_table(plain, "k", 2)
+    base = sharded.base_row_ids()
+    assert sorted(base.tolist()) == [0, 1, 2]
+
+
+# ----------------------------------------------------------------------
+# Residual equality
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("a, b", [
+    (np.asarray([1, 2, 3], dtype=np.int64),
+     np.asarray([1, 4, 3], dtype=np.int64)),
+    (np.asarray([1.0, np.nan, 2.5]), np.asarray([1.0, np.nan, 2.5])),
+    (np.asarray([2 ** 53, 2 ** 53 + 1], dtype=np.int64),
+     np.asarray([float(2 ** 53), float(2 ** 53)])),
+    (np.asarray([True, False]), np.asarray([1, 0], dtype=np.int64)),
+    (np.asarray([1, 2], dtype=np.int64), np.asarray([1.5, 2.0])),
+])
+def test_equal_mask_agreement(a, b):
+    expected = exact_equal(a, b)
+    assert VECTORIZED.equal_mask(a, b).tolist() == expected.tolist()
+    assert INTERPRETED.equal_mask(a, b).tolist() == expected.tolist()

@@ -279,3 +279,63 @@ def test_deep_derivation_sharing_partitioned_table_refreshes_from_origin():
         values = catalog.table("t").gather(np.arange(4))["a"]
         assert sorted(values.tolist()) == [10, 20, 30, 40], catalog
     assert c3.hash_index("t", "a").contains(np.asarray([10])).tolist() == [True]
+
+
+# ----------------------------------------------------------------------
+# Single-key vs batch probe agreement (degenerate batches)
+# ----------------------------------------------------------------------
+
+
+def test_single_key_probes_agree_with_batch_on_empty_shards():
+    """An index whose keys all route to a few shards leaves the rest
+    empty; single-key probes and batch lookups must agree anyway."""
+    keys = np.asarray([7, 7, 7, 7], dtype=np.int64)  # one distinct key
+    index = ShardedHashIndex(keys, 8)
+    assert sum(len(s) == 0 for s in index.shards) >= 6
+    probes = np.asarray([7, 8, 9, -1, 0], dtype=np.int64)
+    batch = index.lookup(probes)
+    merged = HashIndex(keys)
+    expected = merged.lookup(probes)
+    assert batch.counts.tolist() == expected.counts.tolist()
+    assert batch.matched_mask.tolist() == expected.matched_mask.tolist()
+    assert sorted(batch.matching_rows().tolist()) == \
+        sorted(expected.matching_rows().tolist())
+    for key in probes.tolist():
+        single = index.lookup(np.asarray([key], dtype=np.int64))
+        position = probes.tolist().index(key)
+        assert single.counts.tolist() == [batch.counts[position]], key
+        assert sorted(index.rows_for_key(key).tolist()) == \
+            sorted(merged.rows_for_key(key).tolist()), key
+        assert index.contains(np.asarray([key]))[0] == \
+            merged.contains(np.asarray([key]))[0], key
+
+
+def test_all_miss_batch_agrees_with_single_key_probes():
+    rng = np.random.default_rng(5)
+    keys = rng.integers(0, 100, 300)
+    index = ShardedHashIndex(keys, 4)
+    misses = np.asarray([-3, 100, 250, 10**9], dtype=np.int64)
+    batch = index.lookup(misses)
+    assert batch.counts.tolist() == [0, 0, 0, 0]
+    assert not batch.matched_mask.any()
+    assert batch.total_matches() == 0
+    assert batch.matching_rows().tolist() == []
+    assert not index.contains(misses).any()
+    assert index.probe_stats(misses) == (0, 0)
+    for key in misses.tolist():
+        single = index.lookup(np.asarray([key], dtype=np.int64))
+        assert single.counts.tolist() == [0], key
+        assert single.matching_rows().tolist() == [], key
+        assert index.rows_for_key(key).tolist() == [], key
+
+
+def test_empty_probe_batch_on_sharded_index():
+    keys = np.asarray([1, 2, 3], dtype=np.int64)
+    index = ShardedHashIndex(keys, 2)
+    empty = np.asarray([], dtype=np.int64)
+    result = index.lookup(empty)
+    assert len(result) == 0
+    assert result.total_matches() == 0
+    assert result.matching_rows().tolist() == []
+    assert index.contains(empty).tolist() == []
+    assert index.probe_stats(empty) == (0, 0)
