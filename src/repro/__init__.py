@@ -16,6 +16,15 @@ Public API highlights
 * :mod:`repro.workloads` — synthetic benchmark, simulated CE datasets.
 """
 
+from .analysis import (
+    Diagnostic,
+    PlanVerificationError,
+    PlanVerifier,
+    Severity,
+    VerificationResult,
+    verify_plan,
+    verify_spec,
+)
 from .core import (
     Contradiction,
     CostWeights,
@@ -75,6 +84,7 @@ __all__ = [
     "Catalog",
     "Contradiction",
     "CostWeights",
+    "Diagnostic",
     "EdgeStats",
     "ExecutionMode",
     "ExecutionResult",
@@ -88,13 +98,17 @@ __all__ = [
     "PlanCache",
     "PlanCost",
     "PlanSpec",
+    "PlanVerificationError",
+    "PlanVerifier",
     "Planner",
     "PreparedStatement",
     "QueryReport",
     "QuerySession",
     "QueryStats",
+    "Severity",
     "ShardedHashIndex",
     "Table",
+    "VerificationResult",
     "beam_order",
     "best_driver",
     "choose_optimizer",
@@ -114,5 +128,7 @@ __all__ = [
     "spanning_tree_decomposition",
     "stats_from_data",
     "survival_probability",
+    "verify_plan",
+    "verify_spec",
     "__version__",
 ]

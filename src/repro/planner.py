@@ -50,6 +50,7 @@ from .core.cyclic import (
     stats_for_tree,
     tree_query_from_residuals,
 )
+from .analysis import VALIDATE_CHOICES, PlanVerifier
 from .core.lru import LRUCache
 from .core.optimizer import (
     PlanningBudgetExceeded,
@@ -177,6 +178,9 @@ class PhysicalPlan:
     #: resolved kernel path ("vectorized" / "interpreted") the plan
     #: executes with — part of the fingerprint and the plan-cache key
     execution: str = "vectorized"
+    #: static-verifier findings (``validate="basic"|"full"``), in
+    #: emission order — observational metadata, never fingerprinted
+    diagnostics: tuple = ()
 
     @property
     def is_cyclic(self):
@@ -458,6 +462,18 @@ class Planner:
         Resolved at plan time; the resolved value is stored on the
         plan, covered by its fingerprint, and part of the service
         layer's plan-cache key.  Overridable per :meth:`plan` call.
+    validate:
+        Static-verification level for produced plans: ``"off"``
+        (default), ``"basic"`` (structural + metadata passes) or
+        ``"full"`` (adds O(rows) data scans and the
+        fingerprint-sensitivity probe); see
+        :mod:`repro.analysis.planlint`.  Error findings raise
+        :class:`~repro.analysis.PlanVerificationError`; all findings
+        land on :attr:`PhysicalPlan.diagnostics`.  Verdicts are cached
+        per plan fingerprint, so repeat planning of a verified plan
+        (and rehydration of its spec) pays a dictionary lookup.  Never
+        part of cache keys — verification cannot change which plan is
+        produced.  Overridable per :meth:`plan` call.
     """
 
     #: optimizer choices exposed to ``plan()`` — ``"auto"`` resolves by
@@ -468,7 +484,7 @@ class Planner:
     def __init__(self, catalog, weights=None, eps=0.01, stats_cache=None,
                  idp_block_size=8, beam_width=8, planning_budget_ms=None,
                  partitioning="off", max_spanning_trees=16,
-                 execution="auto"):
+                 execution="auto", validate="off"):
         self.catalog = catalog
         self.weights = weights or CostWeights()
         self.eps = eps
@@ -503,6 +519,13 @@ class Planner:
                 f"got {execution!r}"
             )
         self.execution = execution
+        if validate not in VALIDATE_CHOICES:
+            raise ValueError(
+                f"validate must be one of {VALIDATE_CHOICES}, "
+                f"got {validate!r}"
+            )
+        self.validate = validate
+        self._verifier = PlanVerifier()
         # Two levels of content-addressed partitioning reuse: whole
         # derived catalogs (so exact-repeat plan() calls share built
         # sharded indexes) and the re-clustered replacement tables
@@ -944,6 +967,7 @@ class Planner:
         planning_budget_ms=None,
         tree_search="joint",
         execution=None,
+        validate=None,
     ):
         """Build a :class:`PhysicalPlan`.
 
@@ -1003,6 +1027,16 @@ class Planner:
             paths produce bit-identical results and counters — the
             knob never changes the chosen plan, only the kernels it
             runs on.
+        validate:
+            ``"off"``, ``"basic"`` or ``"full"``; ``None`` (default)
+            uses the planner's configured default.  When on, the
+            produced plan is statically verified
+            (:mod:`repro.analysis.planlint`) before being returned:
+            error findings raise
+            :class:`~repro.analysis.PlanVerificationError`, and all
+            findings are attached as
+            :attr:`PhysicalPlan.diagnostics`.  Like ``execution``, the
+            knob never changes which plan is produced.
         """
         if optimizer not in self.OPTIMIZERS:
             raise ValueError(
@@ -1011,6 +1045,13 @@ class Planner:
         if tree_search not in ("joint", "greedy"):
             raise ValueError(
                 f'tree_search must be "joint" or "greedy", got {tree_search!r}'
+            )
+        if validate is None:
+            validate = self.validate
+        if validate not in VALIDATE_CHOICES:
+            raise ValueError(
+                f"validate must be one of {VALIDATE_CHOICES}, "
+                f"got {validate!r}"
             )
         if planning_budget_ms is None:
             planning_budget_ms = self.planning_budget_ms
@@ -1034,14 +1075,20 @@ class Planner:
             else [ExecutionMode(mode)]
         )
         if join_query is None:
-            return self._plan_cyclic(
-                prep, modes, optimizer, driver, stats, deadline,
-                tree_search, execution,
+            return self._validated(
+                self._plan_cyclic(
+                    prep, modes, optimizer, driver, stats, deadline,
+                    tree_search, execution,
+                ),
+                prep, validate,
             )
         if driver == "auto" and join_query.num_relations > 1:
-            return self._plan_driver_auto(
-                prep, modes, optimizer, stats, flat_output, deadline,
-                execution,
+            return self._validated(
+                self._plan_driver_auto(
+                    prep, modes, optimizer, stats, flat_output, deadline,
+                    execution,
+                ),
+                prep, validate,
             )
         best = None
         rooted = join_query
@@ -1070,7 +1117,26 @@ class Planner:
                     num_shards=prep.effective_shards,
                     execution=execution,
                 )
-        return best
+        return self._validated(best, prep, validate)
+
+    def _validated(self, plan, prep, validate):
+        """Apply the resolved ``validate`` level to a produced plan.
+
+        Error findings raise
+        :class:`~repro.analysis.PlanVerificationError`; otherwise all
+        findings (warnings, infos) are attached as
+        :attr:`PhysicalPlan.diagnostics`.  The verifier caches verdicts
+        per plan fingerprint, so re-planning an already-verified plan
+        (or rehydrating its spec) costs a dictionary lookup.
+        """
+        if validate == "off" or plan is None:
+            return plan
+        source = prep.query if isinstance(prep.query, ParsedQuery) else None
+        result = self._verifier.verify_plan(
+            plan, source=source, level=validate
+        )
+        plan.diagnostics = tuple(result.diagnostics)
+        return plan
 
     # ------------------------------------------------------------------
     # Driver choice at scale (cross-rooting search)
@@ -1492,7 +1558,7 @@ class Planner:
     # Plan-spec rehydration (process-pool planning)
     # ------------------------------------------------------------------
 
-    def rehydrate(self, spec, query, partitioning=None):
+    def rehydrate(self, spec, query, partitioning=None, validate=None):
         """A :class:`PhysicalPlan` from a :class:`PlanSpec` planned
         elsewhere (typically a planning-worker process).
 
@@ -1502,7 +1568,20 @@ class Planner:
         The execution catalog is derived locally through the same
         content-addressed caches :meth:`plan` uses, so rehydration costs
         a push-down plus cache lookups — never an order search.
+
+        With ``validate`` on (``None`` uses the planner's default), the
+        arriving spec is statically verified before rehydration and the
+        rehydrated plan after it; a worker-planned spec that survived
+        the trip fingerprints identically to a locally planned twin, so
+        the plan-level verdict is usually already cached.
         """
+        if validate is None:
+            validate = self.validate
+        if validate not in VALIDATE_CHOICES:
+            raise ValueError(
+                f"validate must be one of {VALIDATE_CHOICES}, "
+                f"got {validate!r}"
+            )
         if spec.catalog_fingerprint != self.catalog.fingerprint():
             raise ValueError(
                 "stale PlanSpec: the catalog content changed since it "
@@ -1510,6 +1589,9 @@ class Planner:
             )
         if isinstance(query, str):
             query = parse_query(query)
+        if validate != "off":
+            self._verifier.verify_spec(spec, query=query,
+                                       catalog=self.catalog)
         residuals = tuple(getattr(spec, "residuals", ()))
         tree = None
         if residuals:
@@ -1530,7 +1612,7 @@ class Planner:
                 f"PlanSpec was planned for {spec.num_shards} shard(s) "
                 f"but this planner derives {prep.effective_shards}"
             )
-        return PhysicalPlan(
+        plan = PhysicalPlan(
             catalog=prep.catalog,
             query=rooted,
             order=list(spec.order),
@@ -1549,3 +1631,10 @@ class Planner:
             ),
             execution=getattr(spec, "execution", "vectorized"),
         )
+        if validate != "off":
+            source = query if isinstance(query, ParsedQuery) else None
+            result = self._verifier.verify_plan(
+                plan, source=source, level=validate
+            )
+            plan.diagnostics = tuple(result.diagnostics)
+        return plan

@@ -65,6 +65,10 @@ class QueryReport:
     #: ``output_size / residual_input_tuples`` (1.0 when the query had
     #: no residuals or nothing reached them)
     residual_selectivity: float = 1.0
+    #: static-verifier findings attached to the served plan
+    #: (:mod:`repro.analysis`; empty when ``validate="off"`` or the
+    #: plan was a cache hit from an unvalidated entry)
+    diagnostics: tuple = ()
     timed_out: bool = False
     error: Exception = None
 
@@ -121,6 +125,7 @@ def _reported_run(query, plan_phase, session=None):
     report = QueryReport(
         query=query, plan=plan, cache_hit=cache_hit,
         planning_seconds=t1 - t0,
+        diagnostics=tuple(getattr(plan, "diagnostics", ()) or ()),
     )
     try:
         report.result = run()
@@ -191,12 +196,20 @@ class QuerySession:
         the *resolved* path is part of the plan-cache key, so switching
         kernels misses instead of serving a plan pinned to the other
         path.
+    validate:
+        Static-verification level for cold plans (``"off"`` /
+        ``"basic"`` / ``"full"``), forwarded to the
+        :class:`~repro.planner.Planner`.  Deliberately *not* part of
+        the plan-cache key: verification never changes which plan is
+        produced, and verdicts are cached per plan fingerprint so the
+        warm path pays nothing.  Findings surface on
+        :attr:`QueryReport.diagnostics`.
     """
 
     def __init__(self, catalog, weights=None, eps=0.01, plan_cache_size=128,
                  stats_cache_size=256, idp_block_size=8, beam_width=8,
                  planning_budget_ms=None, partitioning="off",
-                 max_spanning_trees=16, execution="auto"):
+                 max_spanning_trees=16, execution="auto", validate="off"):
         self.catalog = catalog
         self.planner = Planner(
             catalog, weights=weights, eps=eps,
@@ -205,7 +218,7 @@ class QuerySession:
             planning_budget_ms=planning_budget_ms,
             partitioning=partitioning,
             max_spanning_trees=max_spanning_trees,
-            execution=execution,
+            execution=execution, validate=validate,
         )
         self.plan_cache = PlanCache(plan_cache_size)
         self._last_fingerprint = None
@@ -259,8 +272,12 @@ class QuerySession:
     def cache_key(self, query, mode="auto", optimizer="exhaustive",
                   driver="fixed", stats="exact", flat_output=True,
                   partitioning=None, planning_budget_ms=None,
-                  tree_search="joint", execution=None):
+                  tree_search="joint", execution=None, validate=None):
         """The plan-cache key :meth:`plan` would use for this request.
+
+        ``validate`` is accepted (so callers can forward uniform plan
+        kwargs) but never keyed: verification cannot change which plan
+        is produced.
 
         Also maintains the fingerprint guard (a catalog content change
         clears entries pinned to superseded data).  Exposed for front
@@ -302,7 +319,7 @@ class QuerySession:
     def plan(self, query, mode="auto", optimizer="exhaustive", driver="fixed",
              stats="exact", flat_output=True, use_cache=True,
              partitioning=None, planning_budget_ms=None,
-             tree_search="joint", execution=None):
+             tree_search="joint", execution=None, validate=None):
         """A :class:`~repro.planner.PhysicalPlan`, via the plan cache.
 
         Accepts the same arguments as :meth:`Planner.plan` (including
@@ -324,13 +341,14 @@ class QuerySession:
             partitioning=partitioning,
             planning_budget_ms=planning_budget_ms,
             tree_search=tree_search, execution=execution,
+            validate=validate,
         )[0]
 
     def _plan_with_hit(self, query, mode="auto", optimizer="exhaustive",
                        driver="fixed", stats="exact", flat_output=True,
                        use_cache=True, partitioning=None,
                        planning_budget_ms=None, tree_search="joint",
-                       execution=None):
+                       execution=None, validate=None):
         """``(plan, cache_hit)`` — :meth:`plan` plus a race-free hit flag.
 
         The flag comes from *this call's own* cache lookup, never from
@@ -358,6 +376,7 @@ class QuerySession:
                 partitioning=partitioning,
                 planning_budget_ms=planning_budget_ms,
                 tree_search=tree_search, execution=execution,
+                validate=validate,
             )
             self.plan_cache.put(key, plan)
             return plan, False
@@ -365,7 +384,7 @@ class QuerySession:
             query, mode=mode, optimizer=optimizer, driver=driver,
             stats=stats, flat_output=flat_output, partitioning=partitioning,
             planning_budget_ms=planning_budget_ms, tree_search=tree_search,
-            execution=execution,
+            execution=execution, validate=validate,
         ), False
 
     def explain(self, query, **plan_kwargs):
