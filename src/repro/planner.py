@@ -301,10 +301,10 @@ class PhysicalPlan:
             mode=str(self.mode),
             stats=self.stats,
             predicted_cost=self.predicted_cost,
-            child_orders=tuple(
+            child_orders=tuple(sorted(
                 (relation, tuple(children))
                 for relation, children in (self.child_orders or {}).items()
-            ),
+            )),
             weights=self.weights,
             num_shards=self.num_shards,
             catalog_fingerprint=catalog_fingerprint,

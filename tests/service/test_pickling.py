@@ -133,6 +133,26 @@ class TestPlanSpec:
         with pytest.raises(ValueError, match="stale PlanSpec"):
             planner.rehydrate(spec, SIX_RELATION_SQL)
 
+    def test_spec_child_orders_are_canonical(self):
+        """``to_spec`` must not leak dict insertion order: two plans
+        that differ only in the order ``child_orders`` was populated
+        serialize to equal specs (specs are compared and cached)."""
+        import dataclasses
+
+        catalog = make_small_catalog()
+        planner = Planner(catalog, stats_cache=True)
+        plan = planner.plan(SIX_RELATION_SQL, mode="SJ+COM")
+        assert plan.child_orders, "SJ mode should produce child orders"
+        reversed_orders = dict(
+            reversed(list(plan.child_orders.items()))
+        )
+        shuffled = dataclasses.replace(plan, child_orders=reversed_orders)
+        fp = catalog.fingerprint()
+        assert plan.to_spec(fp) == shuffled.to_spec(fp)
+        assert plan.to_spec(fp).child_orders == tuple(
+            sorted(plan.to_spec(fp).child_orders)
+        )
+
     def test_partitioned_spec_pins_shard_count(self):
         query = random_tree_query(5, seed=22)
         catalog = large_join_catalog(query, rows_per_relation=200, seed=22)
