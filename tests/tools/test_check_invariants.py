@@ -1,0 +1,196 @@
+"""The repo-invariant linter: green on the repo, loud on violations.
+
+Each rule is exercised twice — once against the real tree (must hold)
+and once against a synthetic violation written into a temp tree (must
+fire), so the linter can neither rot into false positives nor silently
+stop catching the pattern it exists for.
+"""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from tests.helpers import subprocess_env
+
+REPO = Path(__file__).resolve().parents[2]
+SCRIPT = REPO / "tools" / "check_invariants.py"
+
+
+def load_linter(repo_root):
+    """Import the linter module rebased onto ``repo_root``."""
+    spec = importlib.util.spec_from_file_location(
+        "check_invariants_under_test", SCRIPT
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.REPO = Path(repo_root)
+    module.SRC = Path(repo_root) / "src" / "repro"
+    return module
+
+
+@pytest.fixture()
+def synthetic_repo(tmp_path):
+    """A minimal tree the linter accepts, ready to be corrupted."""
+    src = tmp_path / "src" / "repro"
+    for sub in ("engine", "storage", "core", "analysis"):
+        (src / sub).mkdir(parents=True)
+        (src / sub / "__init__.py").write_text("")
+    (src / "__init__.py").write_text("")
+    (src / "engine" / "kernels.py").write_text(
+        "class VectorizedKernels:\n"
+        "    def lookup(self, index, keys):\n"
+        "        return index\n"
+        "class InterpretedKernels:\n"
+        "    def lookup(self, index, keys):\n"
+        "        return index\n"
+    )
+    (src / "planner.py").write_text(
+        "class Planner:\n"
+        "    def plan(self, query, mode='auto'):\n"
+        "        return None\n"
+    )
+    (tmp_path / "README.md").write_text(
+        "## Planner / session knobs\n\n"
+        "| knob |\n|---|\n| `mode` |\n\n## Next\n"
+    )
+    return tmp_path
+
+
+def run_all(module):
+    return [finding for check in module.CHECKS for finding in check()]
+
+
+def test_linter_green_on_this_repo():
+    result = subprocess.run(
+        [sys.executable, str(SCRIPT)],
+        cwd=REPO, capture_output=True, text=True, env=subprocess_env(),
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "invariants hold" in result.stdout
+
+
+def test_synthetic_repo_is_green(synthetic_repo):
+    assert run_all(load_linter(synthetic_repo)) == []
+
+
+def test_raw_key_eq_fires(synthetic_repo):
+    path = synthetic_repo / "src" / "repro" / "engine" / "probe.py"
+    path.write_text(
+        "def find(build_key, probe):\n"
+        "    return build_key == probe\n"
+    )
+    rules = [f.rule for f in run_all(load_linter(synthetic_repo))]
+    assert rules == ["RAW_KEY_EQ"]
+
+
+def test_raw_key_eq_nan_idiom_allowed(synthetic_repo):
+    path = synthetic_repo / "src" / "repro" / "engine" / "probe.py"
+    path.write_text(
+        "def is_nan(key):\n"
+        "    return key != key\n"
+    )
+    assert run_all(load_linter(synthetic_repo)) == []
+
+
+def test_unlocked_cache_mutation_fires_on_foreign_access(synthetic_repo):
+    path = synthetic_repo / "src" / "repro" / "core" / "peek.py"
+    path.write_text(
+        "def peek(cache):\n"
+        "    return list(cache._entries)\n"
+    )
+    rules = [f.rule for f in run_all(load_linter(synthetic_repo))]
+    assert rules == ["UNLOCKED_CACHE_MUTATION"]
+
+
+def test_unlocked_cache_mutation_fires_without_lock(synthetic_repo):
+    path = synthetic_repo / "src" / "repro" / "core" / "cachelike.py"
+    path.write_text(
+        "class Cache:\n"
+        "    def __init__(self):\n"
+        "        self._entries = {}\n"
+        "    def size_unlocked(self):\n"
+        "        return len(self._entries)\n"
+        "    def size_locked(self):\n"
+        "        with self._lock:\n"
+        "            return len(self._entries)\n"
+    )
+    findings = run_all(load_linter(synthetic_repo))
+    assert [f.rule for f in findings] == ["UNLOCKED_CACHE_MUTATION"]
+    assert "size_unlocked" in findings[0].message
+
+
+def test_unsorted_fingerprint_iter_fires(synthetic_repo):
+    path = synthetic_repo / "src" / "repro" / "core" / "digest.py"
+    path.write_text(
+        "def fingerprint(mapping):\n"
+        "    return tuple(mapping.items())\n"
+    )
+    rules = [f.rule for f in run_all(load_linter(synthetic_repo))]
+    assert rules == ["UNSORTED_FINGERPRINT_ITER"]
+
+
+def test_unsorted_fingerprint_iter_accepts_sorted(synthetic_repo):
+    path = synthetic_repo / "src" / "repro" / "core" / "digest.py"
+    path.write_text(
+        "def fingerprint(mapping, tags):\n"
+        "    keep = {t for t in tags}\n"  # membership only: fine
+        "    return tuple(sorted(mapping.items())), keep\n"
+    )
+    assert run_all(load_linter(synthetic_repo)) == []
+
+
+def test_unsorted_fingerprint_iter_fires_on_iterated_set(synthetic_repo):
+    path = synthetic_repo / "src" / "repro" / "core" / "digest.py"
+    path.write_text(
+        "def cache_key(tags):\n"
+        "    return tuple({t for t in tags})\n"
+    )
+    rules = [f.rule for f in run_all(load_linter(synthetic_repo))]
+    assert rules == ["UNSORTED_FINGERPRINT_ITER"]
+
+
+def test_kernel_surface_fires_on_missing_method(synthetic_repo):
+    path = synthetic_repo / "src" / "repro" / "engine" / "kernels.py"
+    path.write_text(
+        "class VectorizedKernels:\n"
+        "    def lookup(self, index, keys):\n"
+        "        return index\n"
+        "    def gather(self, rows):\n"
+        "        return rows\n"
+        "class InterpretedKernels:\n"
+        "    def lookup(self, index, keys):\n"
+        "        return index\n"
+    )
+    findings = run_all(load_linter(synthetic_repo))
+    assert [f.rule for f in findings] == ["KERNEL_SURFACE"]
+    assert "gather" in findings[0].message
+
+
+def test_kernel_surface_fires_on_counter_mismatch(synthetic_repo):
+    path = synthetic_repo / "src" / "repro" / "engine" / "kernels.py"
+    path.write_text(
+        "class VectorizedKernels:\n"
+        "    def lookup(self, index, keys):\n"
+        "        self.counters.probes += 1\n"
+        "class InterpretedKernels:\n"
+        "    def lookup(self, index, keys):\n"
+        "        return index\n"
+    )
+    findings = run_all(load_linter(synthetic_repo))
+    assert [f.rule for f in findings] == ["KERNEL_SURFACE"]
+    assert "counter updates differ" in findings[0].message
+
+
+def test_readme_knob_table_fires_on_undocumented_knob(synthetic_repo):
+    path = synthetic_repo / "src" / "repro" / "planner.py"
+    path.write_text(
+        "class Planner:\n"
+        "    def plan(self, query, mode='auto', shiny='off'):\n"
+        "        return None\n"
+    )
+    findings = run_all(load_linter(synthetic_repo))
+    assert [f.rule for f in findings] == ["README_KNOB_TABLE"]
+    assert "`shiny`" in findings[0].message

@@ -1,0 +1,375 @@
+#!/usr/bin/env python3
+"""Repo-invariant linter: static checks ruff/mypy can't express.
+
+Pure stdlib (``ast`` + ``pathlib``); run from the repo root::
+
+    python tools/check_invariants.py
+
+Exit status 0 when every invariant holds, 1 with one line per finding
+otherwise.  The rules encode contracts the engine relies on but which
+live across files, so no single diff review sees them break:
+
+RAW_KEY_EQ
+    Join-key comparisons must route through the exactness layer
+    (normalized searchsorted probes / ``_float_exact``), never ad-hoc
+    ``==`` / ``!=`` on key values — a raw compare silently reintroduces
+    the int/float 2**53 and NaN bugs the storage layer exists to
+    prevent.  Applies to ``src/repro/engine`` and ``src/repro/storage``.
+    Self-comparisons (``key != key``, the NaN test) and the allowlisted
+    implementation sites of the exactness layer itself are exempt.
+
+UNLOCKED_CACHE_MUTATION
+    ``_entries`` / ``_inflight`` mark lock-guarded shared state (the
+    ``LRUCache`` convention, also followed by the heavy-plan tracker).
+    Only methods of the owning class may touch them (``self._...``),
+    and any method doing so must hold ``self._lock`` in a ``with``
+    block.  Reaching into another object's ``_entries`` bypasses its
+    lock; touching your own without the lock is a data race under the
+    concurrent planning the service layer promises.
+
+UNSORTED_FINGERPRINT_ITER
+    Functions that build fingerprints / cache keys must not iterate
+    dicts or sets un-sorted: iteration order is insertion order, so two
+    semantically identical plans could fingerprint differently and the
+    plan cache would silently stop deduplicating.  Every ``.items()`` /
+    ``.keys()`` / ``.values()`` call (and set literal) inside such a
+    function must sit under a ``sorted(...)`` call, as must any set
+    that is iterated rather than membership-tested.
+
+KERNEL_SURFACE
+    ``VectorizedKernels`` and ``InterpretedKernels`` are swappable data
+    planes: their public method surfaces must be identical, and
+    same-named methods must update the same counters (augmented
+    assignments to the same attribute names), or ``execution="auto"``
+    changes observable behaviour beyond speed.
+
+README_KNOB_TABLE
+    Every public planner knob (keyword of ``Planner.plan``) must appear
+    in README's "Planner / session knobs" table — an undocumented knob
+    is indistinguishable from an unsupported one.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src" / "repro"
+
+# -- RAW_KEY_EQ calibration -------------------------------------------
+
+#: identifiers treated as join-key values
+_KEYISH = re.compile(r"^(keys?|.*_keys?)$")
+
+#: (file relative to src/repro, function name) pairs implementing the
+#: exactness layer itself — the only places a raw compare is the point
+RAW_KEY_EQ_ALLOWED = {
+    # sorted-array probes: keys are already normalized to the index
+    # dtype, searchsorted + == IS the exact lookup
+    ("storage/hashindex.py", "lookup"),
+    ("storage/hashindex.py", "contains"),
+    ("storage/hashindex.py", "probe_stats"),
+    # integral-representability test routing float probes to shards
+    ("storage/partition.py", "_float_exact"),
+    ("storage/partition.py", "_probe_shard_ids"),
+    # compares attribute *names* against the shard key, not key values
+    ("storage/partition.py", "build_hash_index"),
+}
+
+
+class Finding:
+    def __init__(self, rule, path, line, message):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def __str__(self):
+        location = f"{self.path}:{self.line}" if self.line else str(self.path)
+        return f"{location}: {self.rule}: {self.message}"
+
+
+def _parse(path):
+    return ast.parse(path.read_text(), filename=str(path))
+
+
+def _attach_parents(tree):
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            child._parent = node
+    return tree
+
+
+def _enclosing_function(node):
+    while node is not None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return node
+        node = getattr(node, "_parent", None)
+    return None
+
+
+def _is_keyish(node):
+    """Bare names / attributes that denote join-key values.
+
+    Subscripts and calls are deliberately excluded: ``key[0]`` is a
+    cache-key tuple element, ``len(keys)`` a count — neither compares
+    key *values*.
+    """
+    if isinstance(node, ast.Name):
+        return bool(_KEYISH.match(node.id))
+    if isinstance(node, ast.Attribute):
+        return bool(_KEYISH.match(node.attr))
+    return False
+
+
+def check_raw_key_eq():
+    findings = []
+    for root in (SRC / "engine", SRC / "storage"):
+        for path in sorted(root.rglob("*.py")):
+            rel = path.relative_to(SRC).as_posix()
+            tree = _attach_parents(_parse(path))
+            for node in ast.walk(tree):
+                if not isinstance(node, ast.Compare):
+                    continue
+                if not any(isinstance(op, (ast.Eq, ast.NotEq))
+                           for op in node.ops):
+                    continue
+                operands = [node.left, *node.comparators]
+                if not any(_is_keyish(operand) for operand in operands):
+                    continue
+                # the NaN idiom: a value compared against itself
+                dumps = [ast.dump(operand) for operand in operands]
+                if len(set(dumps)) == 1:
+                    continue
+                function = _enclosing_function(node)
+                name = function.name if function else "<module>"
+                if (rel, name) in RAW_KEY_EQ_ALLOWED:
+                    continue
+                findings.append(Finding(
+                    "RAW_KEY_EQ", path.relative_to(REPO), node.lineno,
+                    f"raw ==/!= on key values in {name}() — route through "
+                    "the exactness layer (hash-index probe or "
+                    "_float_exact) or allowlist the implementation site",
+                ))
+    return findings
+
+
+def _holds_lock(function):
+    for node in ast.walk(function):
+        if not isinstance(node, ast.With):
+            continue
+        for item in node.items:
+            expr = item.context_expr
+            if isinstance(expr, ast.Attribute) and expr.attr == "_lock":
+                return True
+    return False
+
+
+def check_unlocked_cache_mutation():
+    findings = []
+    attrs = {"_entries", "_inflight"}
+    # Creation and (re)initialisation run before the cache is shared;
+    # pickling ships an *empty* cache, so neither needs the lock.
+    exempt = {"__init__", "__getstate__", "__setstate__"}
+    for path in sorted(SRC.rglob("*.py")):
+        tree = _attach_parents(_parse(path))
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Attribute) or node.attr not in attrs:
+                continue
+            rel = path.relative_to(REPO)
+            if not (isinstance(node.value, ast.Name)
+                    and node.value.id == "self"):
+                findings.append(Finding(
+                    "UNLOCKED_CACHE_MUTATION", rel, node.lineno,
+                    f"access to {node.attr} of a foreign object — only "
+                    "the owning class may touch its guarded state; use "
+                    "the locked public methods",
+                ))
+                continue
+            function = _enclosing_function(node)
+            if function is None or function.name in exempt:
+                continue
+            if not _holds_lock(function):
+                findings.append(Finding(
+                    "UNLOCKED_CACHE_MUTATION", rel, node.lineno,
+                    f"{function.name}() touches self.{node.attr} without "
+                    "a `with self._lock` block",
+                ))
+    return findings
+
+
+#: functions that assemble fingerprint / cache-key material
+_FINGERPRINT_FUNCS = re.compile(
+    r"fingerprint|cache_key|to_spec|_plan_options|_apply_partitioning"
+)
+
+
+def _under_sorted(node):
+    current = getattr(node, "_parent", None)
+    while current is not None:
+        if (isinstance(current, ast.Call)
+                and isinstance(current.func, ast.Name)
+                and current.func.id == "sorted"):
+            return True
+        current = getattr(current, "_parent", None)
+    return False
+
+
+def _directly_iterated(node):
+    """A set that is consumed in order: ``tuple({...})``, ``for x in
+    {...}``, or a comprehension over it.  Sets bound to a name for
+    later ``in`` tests don't leak their iteration order."""
+    parent = getattr(node, "_parent", None)
+    if isinstance(parent, ast.Call) and isinstance(parent.func, ast.Name):
+        return parent.func.id in ("tuple", "list", "enumerate")
+    if isinstance(parent, (ast.For, ast.AsyncFor)):
+        return parent.iter is node
+    if isinstance(parent, ast.comprehension):
+        return parent.iter is node
+    return False
+
+
+def check_unsorted_fingerprint_iter():
+    findings = []
+    for path in sorted(SRC.rglob("*.py")):
+        tree = _attach_parents(_parse(path))
+        for function in ast.walk(tree):
+            if not isinstance(function, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                continue
+            if not _FINGERPRINT_FUNCS.search(function.name):
+                continue
+            for node in ast.walk(function):
+                unordered = None
+                if (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr in ("items", "keys", "values")
+                        and not node.args and not node.keywords):
+                    unordered = f".{node.func.attr}() iteration"
+                elif isinstance(node, (ast.Set, ast.SetComp)):
+                    # sets kept for membership tests are order-free;
+                    # only a set that is *iterated* leaks its order
+                    if _directly_iterated(node):
+                        unordered = "iteration over a set"
+                if unordered and not _under_sorted(node):
+                    findings.append(Finding(
+                        "UNSORTED_FINGERPRINT_ITER",
+                        path.relative_to(REPO), node.lineno,
+                        f"{unordered} in {function.name}() is not "
+                        "wrapped in sorted(...) — fingerprints must not "
+                        "depend on insertion order",
+                    ))
+    return findings
+
+
+def _class_methods(tree, class_name):
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == class_name:
+            return {
+                item.name: item
+                for item in node.body
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+    raise SystemExit(f"kernel class {class_name} not found")
+
+
+def _counter_updates(function):
+    """Attribute names receiving augmented assignments (counters)."""
+    updates = set()
+    for node in ast.walk(function):
+        if isinstance(node, ast.AugAssign) and isinstance(
+                node.target, ast.Attribute):
+            updates.add(node.target.attr)
+    return updates
+
+
+def check_kernel_surface():
+    findings = []
+    path = SRC / "engine" / "kernels.py"
+    tree = _parse(path)
+    vectorized = _class_methods(tree, "VectorizedKernels")
+    interpreted = _class_methods(tree, "InterpretedKernels")
+    def public(methods):
+        return {name for name in methods if not name.startswith("_")}
+
+    missing = public(vectorized) ^ public(interpreted)
+    for name in sorted(missing):
+        owner = ("VectorizedKernels" if name in vectorized
+                 else "InterpretedKernels")
+        findings.append(Finding(
+            "KERNEL_SURFACE", path.relative_to(REPO),
+            (vectorized.get(name) or interpreted.get(name)).lineno,
+            f"{name}() exists only on {owner} — the kernel planes must "
+            "expose identical public surfaces",
+        ))
+    for name in sorted(public(vectorized) & public(interpreted)):
+        a = _counter_updates(vectorized[name])
+        b = _counter_updates(interpreted[name])
+        if a != b:
+            findings.append(Finding(
+                "KERNEL_SURFACE", path.relative_to(REPO),
+                interpreted[name].lineno,
+                f"{name}() counter updates differ between planes: "
+                f"vectorized={sorted(a)} interpreted={sorted(b)}",
+            ))
+    return findings
+
+
+def check_readme_knob_table():
+    findings = []
+    planner = _parse(SRC / "planner.py")
+    plan = None
+    for node in ast.walk(planner):
+        if isinstance(node, ast.ClassDef) and node.name == "Planner":
+            plan = next(
+                item for item in node.body
+                if isinstance(item, ast.FunctionDef) and item.name == "plan"
+            )
+    knobs = [
+        arg.arg for arg in plan.args.args + plan.args.kwonlyargs
+        if arg.arg not in ("self", "query")
+    ]
+    readme = REPO / "README.md"
+    text = readme.read_text()
+    match = re.search(
+        r"## Planner / session knobs\n(.*?)\n## ", text, re.DOTALL
+    )
+    if not match:
+        return [Finding("README_KNOB_TABLE", readme.relative_to(REPO), 0,
+                        'section "## Planner / session knobs" not found')]
+    section = match.group(1)
+    for knob in knobs:
+        if f"`{knob}`" not in section:
+            findings.append(Finding(
+                "README_KNOB_TABLE", readme.relative_to(REPO),
+                text[:match.start()].count("\n") + 1,
+                f"planner knob `{knob}` missing from the knob table",
+            ))
+    return findings
+
+
+CHECKS = (
+    check_raw_key_eq,
+    check_unlocked_cache_mutation,
+    check_unsorted_fingerprint_iter,
+    check_kernel_surface,
+    check_readme_knob_table,
+)
+
+
+def main():
+    findings = [finding for check in CHECKS for finding in check()]
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"\n{len(findings)} invariant violation(s).", file=sys.stderr)
+        return 1
+    print(f"All {len(CHECKS)} invariants hold.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
