@@ -127,9 +127,10 @@ def summarize(mix, concurrency, latencies, wall_seconds):
 
 
 def bench_mix(mix, catalog, concurrency, num_queries, planning_workers,
-              execution="auto"):
+              execution="auto", validate="off"):
     """One (mix, concurrency) cell; fresh session so caches start cold."""
-    session = QuerySession(catalog, partitioning="off", execution=execution)
+    session = QuerySession(catalog, partitioning="off", execution=execution,
+                           validate=validate)
     service = None
     blocking = None
 
@@ -241,6 +242,14 @@ def main(argv=None):
              "'interpreted' measures the pure-Python oracle path "
              "(results are printed but not saved over the committed file)",
     )
+    parser.add_argument(
+        "--validate", choices=("off", "basic", "full"), default="off",
+        help="plan-verification knob forwarded to QuerySession; the "
+             "warm mix must be unaffected (verdicts cache per plan "
+             "fingerprint) and the cold mix shows the verifier's cost "
+             "(results are printed but not saved over the committed "
+             "file)",
+    )
     args = parser.parse_args(argv)
 
     cpus = os.cpu_count() or 1
@@ -254,7 +263,8 @@ def main(argv=None):
     for mix in ("warm", "cold", "prepared"):
         for concurrency in concurrencies:
             row = bench_mix(mix, catalog, concurrency, per_cell[mix],
-                            planning_workers, execution=args.execution)
+                            planning_workers, execution=args.execution,
+                            validate=args.validate)
             rows.append(row)
             print(f"{mix:>9} c={concurrency:<3} "
                   f"qps={row['qps']:>8} p50={row['p50_ms']:>8}ms "
@@ -266,6 +276,7 @@ def main(argv=None):
         "benchmark": "service_throughput",
         "smoke": args.smoke,
         "execution": args.execution,
+        "validate": args.validate,
         "host": {"cpus": cpus, "planning_workers_cold_mix": planning_workers},
         "query": "6-relation running example (selectivity-balanced)",
         "mixes": rows,
@@ -281,15 +292,15 @@ def main(argv=None):
 
     print(json.dumps({k: v for k, v in record.items() if k != "mixes"},
                      indent=2))
-    if args.execution != "interpreted":
-        # the committed file tracks the shipping (vectorized) path; an
-        # oracle run is for comparison only and must not become the
-        # baseline the CI guard measures against
+    if args.execution != "interpreted" and args.validate == "off":
+        # the committed file tracks the shipping (vectorized, unvalidated)
+        # path; oracle or validated runs are for comparison only and must
+        # not become the baseline the CI guard measures against
         RESULTS_DIR.mkdir(exist_ok=True)
         RESULTS_PATH.write_text(json.dumps(record, indent=2) + "\n")
         print(f"[saved to {RESULTS_PATH}]")
     else:
-        print("[interpreted run: results not saved over committed baseline]")
+        print("[comparison run: results not saved over committed baseline]")
 
     # Sanity gates (shape, not absolute speed: CI hardware varies).
     for row in rows:
