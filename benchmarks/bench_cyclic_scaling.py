@@ -51,7 +51,8 @@ SMOKE_SIZES = {
 EXECUTE_MAX_RELATIONS = 12
 
 
-def measure_case(shape, n, seed, mode, optimizer):
+def measure_case(shape, n, seed, mode, optimizer,
+                 cyclic_execution="auto"):
     parsed = CYCLIC_SHAPES[shape](n)
     catalog = cyclic_catalog(parsed, seed=seed)
 
@@ -59,13 +60,15 @@ def measure_case(shape, n, seed, mode, optimizer):
     # derivation — wall times compare search effort, not cache luck.
     joint_planner = Planner(catalog, stats_cache=True)
     start = time.perf_counter()
-    joint = joint_planner.plan(parsed, mode=mode, optimizer=optimizer)
+    joint = joint_planner.plan(parsed, mode=mode, optimizer=optimizer,
+                               cyclic_execution=cyclic_execution)
     joint_s = time.perf_counter() - start
 
     greedy_planner = Planner(catalog, stats_cache=True)
     start = time.perf_counter()
     greedy = greedy_planner.plan(parsed, mode=mode, optimizer=optimizer,
-                                 tree_search="greedy")
+                                 tree_search="greedy",
+                                 cyclic_execution=cyclic_execution)
     greedy_s = time.perf_counter() - start
 
     if joint.predicted_cost > greedy.predicted_cost * (1 + 1e-9):
@@ -95,6 +98,8 @@ def measure_case(shape, n, seed, mode, optimizer):
         "greedy_plan_s": round(greedy_s, 4),
         "joint_mode": str(joint.mode),
         "joint_driver": joint.query.root,
+        "joint_strategy": joint.cyclic_strategy,
+        "greedy_strategy": greedy.cyclic_strategy,
     }
 
     if n <= EXECUTE_MAX_RELATIONS:
@@ -126,13 +131,19 @@ def main(argv=None):
                         help='execution strategy (default "auto")')
     parser.add_argument("--optimizer", default="auto",
                         help='order-search algorithm (default "auto")')
+    parser.add_argument("--cyclic-execution", default="auto",
+                        choices=("auto", "tree_filter", "wcoj"),
+                        help="cyclic strategy knob forwarded to the "
+                             'planner (default "auto": the cost model '
+                             "picks tree+filter or wcoj per query)")
     parser.add_argument("--seed", type=int, default=7)
     args = parser.parse_args(argv)
 
     sizes = SMOKE_SIZES if args.smoke else FULL_SIZES
     start = time.perf_counter()
     entries = [
-        measure_case(shape, n, args.seed, args.mode, args.optimizer)
+        measure_case(shape, n, args.seed, args.mode, args.optimizer,
+                     cyclic_execution=args.cyclic_execution)
         for shape, shape_sizes in sizes.items()
         for n in shape_sizes
     ]
@@ -144,6 +155,7 @@ def main(argv=None):
         "mode": "smoke" if args.smoke else "full",
         "plan_mode": args.mode,
         "optimizer": args.optimizer,
+        "cyclic_execution": args.cyclic_execution,
         "seed": args.seed,
         "cpu_count": os.cpu_count(),
         "wall_s": round(time.perf_counter() - start, 2),

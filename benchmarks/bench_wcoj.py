@@ -1,0 +1,152 @@
+"""Worst-case-optimal vs tree+filter on dense cyclic workloads.
+
+For skewed dense cliques (8 relations, 28 predicates, power-law keys)
+and grids, plans each query under both forced cyclic strategies
+(``cyclic_execution="tree_filter"`` / ``"wcoj"``), executes both, and
+records wall time plus ``peak_intermediate_tuples`` — the quantity the
+worst-case-optimal operator exists to bound.  Skewed keys concentrate
+matches on a few heavy values, so the tree+filter pipeline multiplies
+out doomed combinations the residual filters later discard; the wcoj
+operator joins every predicate attribute-at-a-time and never
+materializes them.
+
+Guards (CI regression gate, enforced on every run):
+
+* both strategies return identical result sizes on every case;
+* on every clique case the wcoj peak is at most **half** the
+  tree+filter peak (the acceptance bar; observed ratios are far
+  larger);
+* ``cyclic_execution="auto"`` resolves to whichever forced strategy
+  predicted the lower cost, on every case.
+
+Results land in ``benchmarks/results/BENCH_wcoj.json``.  Run
+``python benchmarks/bench_wcoj.py`` (full sweep) or ``--smoke`` for
+the CI gate (~seconds).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.engine.executor import BudgetExceededError
+from repro.planner import Planner
+from repro.service.session import DEFAULT_BUDGET
+from repro.workloads.cyclic import CYCLIC_SHAPES, cyclic_catalog
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: (shape, relations, rows_per_relation, key_domain, skew, seed)
+SMOKE_CASES = (
+    ("clique", 8, 50, (3, 6), 1.2, 7),
+    ("grid", 9, 30, (4, 8), 0.8, 7),
+)
+FULL_CASES = SMOKE_CASES + (
+    ("clique", 8, 80, (3, 6), 1.2, 7),
+    ("grid", 9, 36, (4, 8), 1.0, 7),
+)
+
+STRATEGIES = ("tree_filter", "wcoj")
+
+
+def measure_case(shape, n, rows, key_domain, skew, seed):
+    parsed = CYCLIC_SHAPES[shape](n)
+    catalog = cyclic_catalog(parsed, rows_per_relation=rows,
+                             key_domain=key_domain, seed=seed, skew=skew)
+    entry = {
+        "shape": shape,
+        "relations": n,
+        "predicates": len(parsed.join_predicates),
+        "rows_per_relation": rows,
+        "key_domain": list(key_domain),
+        "skew": skew,
+    }
+    sizes, costs = {}, {}
+    for strategy in STRATEGIES:
+        plan = Planner(catalog, cyclic_execution=strategy).plan(
+            parsed, stats="exact"
+        )
+        costs[strategy] = plan.predicted_cost
+        entry[f"{strategy}_cost"] = round(plan.predicted_cost, 1)
+        start = time.perf_counter()
+        try:
+            result = plan.execute()
+        except BudgetExceededError:
+            # tree+filter can overrun the default intermediate-tuple
+            # budget on workloads wcoj walks through; the budget is a
+            # *lower bound* on the true peak, recorded as such
+            entry[f"{strategy}_completed"] = False
+            entry[f"{strategy}_wall_s"] = round(
+                time.perf_counter() - start, 4
+            )
+            entry[f"{strategy}_peak_tuples"] = DEFAULT_BUDGET
+            continue
+        entry[f"{strategy}_completed"] = True
+        entry[f"{strategy}_wall_s"] = round(time.perf_counter() - start, 4)
+        sizes[strategy] = result.output_size
+        entry[f"{strategy}_peak_tuples"] = \
+            result.counters.peak_intermediate_tuples
+    if not entry["wcoj_completed"]:
+        raise AssertionError(
+            f"{shape} n={n}: the wcoj strategy overran the "
+            f"intermediate-tuple budget (regression)"
+        )
+    if len(sizes) == 2 and sizes["wcoj"] != sizes["tree_filter"]:
+        raise AssertionError(
+            f"{shape} n={n}: strategies disagree on the result size "
+            f"({sizes['wcoj']} vs {sizes['tree_filter']})"
+        )
+    entry["output_size"] = sizes["wcoj"]
+    entry["peak_ratio"] = round(
+        entry["tree_filter_peak_tuples"]
+        / max(entry["wcoj_peak_tuples"], 1), 2
+    )
+    if shape == "clique" \
+            and entry["wcoj_peak_tuples"] * 2 > entry["tree_filter_peak_tuples"]:
+        raise AssertionError(
+            f"clique n={n}: wcoj peak {entry['wcoj_peak_tuples']} is not "
+            f">=2x below tree+filter peak "
+            f"{entry['tree_filter_peak_tuples']} (regression)"
+        )
+    auto = Planner(catalog, cyclic_execution="auto").plan(
+        parsed, stats="exact"
+    )
+    cheaper = min(STRATEGIES, key=costs.__getitem__)
+    entry["auto_strategy"] = auto.cyclic_strategy
+    if auto.cyclic_strategy != cheaper:
+        raise AssertionError(
+            f"{shape} n={n}: auto resolved to {auto.cyclic_strategy!r} "
+            f"but {cheaper!r} predicted the lower cost"
+        )
+    return entry
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fast run for CI")
+    args = parser.parse_args(argv)
+
+    cases = SMOKE_CASES if args.smoke else FULL_CASES
+    start = time.perf_counter()
+    entries = [measure_case(*case) for case in cases]
+    record = {
+        "benchmark": "wcoj",
+        "mode": "smoke" if args.smoke else "full",
+        "cpu_count": os.cpu_count(),
+        "wall_s": round(time.perf_counter() - start, 2),
+        "cases": entries,
+        "best_peak_ratio": max(e["peak_ratio"] for e in entries),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_wcoj.json"
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    print(json.dumps(record, indent=2))
+    print(f"[saved to {path}]")
+
+
+if __name__ == "__main__":
+    main()

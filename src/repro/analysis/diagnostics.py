@@ -105,6 +105,15 @@ DIAGNOSTIC_CODES: dict[str, str] = {
     "SPEC004": "PlanSpec is stale: catalog content fingerprint mismatch",
     "SPEC005": "PlanSpec residuals do not identify a spanning tree of "
                "the query (tree reconstruction failed)",
+    # --- worst-case-optimal (wcoj) strategy ------------------------------
+    "WCOJ001": "invalid cyclic strategy on the plan or spec (unknown "
+               "value, or a tree_filter plan carrying a wcoj variable "
+               "order)",
+    "WCOJ002": "wcoj variable order does not cover exactly the "
+               "predicate attributes (a residual attribute would go "
+               "unjoined, or the order names an unknown member)",
+    "WCOJ003": "wcoj strategy on a plan without residuals, or with an "
+               "empty variable order (nothing to eliminate)",
 }
 
 

@@ -70,6 +70,9 @@ VALIDATE_CHOICES: Tuple[str, ...] = ("off", "basic", "full")
 #: resolved execution paths a plan may carry (never the raw ``"auto"``)
 _RESOLVED_EXECUTIONS: Tuple[str, ...] = ("vectorized", "interpreted")
 
+#: resolved cyclic strategies a plan may carry (never the raw ``"auto"``)
+_RESOLVED_CYCLIC_STRATEGIES: Tuple[str, ...] = ("tree_filter", "wcoj")
+
 # ----------------------------------------------------------------------
 # Fingerprint / cache-key coverage registries
 # ----------------------------------------------------------------------
@@ -84,6 +87,7 @@ _RESOLVED_EXECUTIONS: Tuple[str, ...] = ("vectorized", "interpreted")
 PLAN_FINGERPRINT_COVERED: frozenset = frozenset({
     "query", "order", "mode", "child_orders", "residuals",
     "num_shards", "execution", "catalog",
+    "cyclic_strategy", "wcoj_variable_order",
 })
 #: PhysicalPlan fields that are derived metadata: fully determined by
 #: the covered fields plus the cost model, or purely observational
@@ -96,6 +100,7 @@ PLAN_FINGERPRINT_EXEMPT: frozenset = frozenset({
 SPEC_FINGERPRINT_COVERED: frozenset = frozenset({
     "root", "order", "mode", "child_orders", "residuals",
     "num_shards", "execution", "catalog_fingerprint",
+    "cyclic_strategy", "wcoj_variable_order",
 })
 SPEC_FINGERPRINT_EXEMPT: frozenset = frozenset({
     "stats", "predicted_cost", "weights", "residual_selectivities",
@@ -121,6 +126,8 @@ CACHE_KEYED_KNOBS: dict[str, str] = {
     "tree_search": "tree_search",
     "max_spanning_trees": "max_spanning_trees",
     "execution": "execution",
+    # keyed raw, not resolved: "auto" resolves per query by cost
+    "cyclic_execution": "cyclic_execution",
 }
 #: Planner parameters that legitimately stay out of the cache key:
 #: the query and catalog are keyed separately (normalized query key +
@@ -352,6 +359,76 @@ def _pass_predicates(plan: "PhysicalPlan", source: Optional[ParsedQuery],
                 f"covered {count}x by the plan (expected {want[key]}x): "
                 f"duplicated as tree edge and/or residual",
             )
+
+
+def _pass_wcoj(plan: "PhysicalPlan", source: Optional[ParsedQuery],
+               emitter: _Emitter, level: str) -> None:
+    """WCOJ001-003: cyclic-strategy validity and variable-order coverage.
+
+    A wcoj plan replaces tree-probe + residual-filter evaluation with
+    attribute-at-a-time elimination, so its variable order must cover
+    *exactly* the (relation, attribute) endpoints of the plan's
+    predicates — tree edges and residuals alike.  A member the order
+    misses would leave its predicate unjoined; an invented member would
+    make the operator probe a column no predicate constrains.
+    """
+    strategy = plan.cyclic_strategy
+    if strategy not in _RESOLVED_CYCLIC_STRATEGIES:
+        emitter.error(
+            "WCOJ001",
+            f"plan carries unresolved cyclic strategy {strategy!r} "
+            f"(expected one of {_RESOLVED_CYCLIC_STRATEGIES})",
+        )
+        return
+    if strategy == "tree_filter":
+        if plan.wcoj_variable_order:
+            emitter.error(
+                "WCOJ001",
+                "tree_filter plan carries a wcoj variable order "
+                "(stale strategy resolution)",
+            )
+        return
+    if not plan.residuals:
+        emitter.error(
+            "WCOJ003",
+            "wcoj strategy on a plan without residuals: the tree "
+            "pipelines are strictly cheaper on an acyclic plan",
+        )
+    if not plan.wcoj_variable_order:
+        emitter.error(
+            "WCOJ003",
+            "wcoj plan carries an empty variable order",
+        )
+        return
+    expected = set()
+    for rel_a, attr_a, rel_b, attr_b in _predicate_sides(plan):
+        expected.add((rel_a, attr_a))
+        expected.add((rel_b, attr_b))
+    ordered: list = []
+    for variable in plan.wcoj_variable_order:
+        ordered.extend(tuple(member) for member in variable)
+    for relation, attr in sorted(expected - set(ordered)):
+        emitter.error(
+            "WCOJ002",
+            f"predicate attribute {relation}.{attr} is missing from "
+            f"the wcoj variable order — its predicate would go "
+            f"unjoined",
+        )
+    for relation, attr in sorted(set(ordered) - expected):
+        emitter.error(
+            "WCOJ002",
+            f"wcoj variable order names {relation}.{attr}, which no "
+            f"plan predicate constrains",
+        )
+    if len(ordered) != len(set(ordered)):
+        duplicated = sorted(
+            member for member, count in Counter(ordered).items()
+            if count > 1
+        )
+        emitter.error(
+            "WCOJ002",
+            f"wcoj variable order repeats members {duplicated!r}",
+        )
 
 
 def _pass_schema(plan: "PhysicalPlan", source: Optional[ParsedQuery],
@@ -647,6 +724,12 @@ def _pass_fingerprint_sensitivity(plan: "PhysicalPlan",
         )
         if plan.query.num_relations >= 2:
             yield "query", plan.query.rerooted(plan.query.edges[0].child)
+        yield "cyclic_strategy", (
+            "wcoj" if plan.cyclic_strategy != "wcoj" else "tree_filter"
+        )
+        yield "wcoj_variable_order", tuple(plan.wcoj_variable_order) + (
+            (("__planlint__", "a"),),
+        )
         yield "catalog", _FingerprintProbe()
 
     for field_name, value in _perturbations():
@@ -668,6 +751,7 @@ def _pass_fingerprint_sensitivity(plan: "PhysicalPlan",
 PLAN_PASSES: Tuple[Tuple[str, Callable, str], ...] = (
     ("structure", _pass_structure, "basic"),
     ("predicates", _pass_predicates, "basic"),
+    ("wcoj", _pass_wcoj, "basic"),
     ("schema", _pass_schema, "basic"),
     ("shards", _pass_shards, "basic"),
     ("fingerprint-registry", _pass_fingerprint_registry, "basic"),
@@ -756,6 +840,27 @@ def verify_spec(spec: "PlanSpec",
             "SPEC002",
             f"spec carries unresolved execution {spec.execution!r} "
             f"(expected one of {_RESOLVED_EXECUTIONS})",
+        )
+    spec_strategy = getattr(spec, "cyclic_strategy", "tree_filter")
+    if spec_strategy not in _RESOLVED_CYCLIC_STRATEGIES:
+        emitter.error(
+            "WCOJ001",
+            f"spec carries unresolved cyclic strategy "
+            f"{spec_strategy!r} "
+            f"(expected one of {_RESOLVED_CYCLIC_STRATEGIES})",
+        )
+    elif spec_strategy == "tree_filter" \
+            and getattr(spec, "wcoj_variable_order", ()):
+        emitter.error(
+            "WCOJ001",
+            "tree_filter spec carries a wcoj variable order "
+            "(stale strategy resolution)",
+        )
+    elif spec_strategy == "wcoj" \
+            and not getattr(spec, "wcoj_variable_order", ()):
+        emitter.error(
+            "WCOJ003",
+            "wcoj spec carries an empty variable order",
         )
     if not isinstance(spec.num_shards, int) \
             or isinstance(spec.num_shards, bool) or spec.num_shards < 1:

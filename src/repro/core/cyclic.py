@@ -41,6 +41,8 @@ from .stats import QueryStats, _measure_edge
 __all__ = [
     "ResidualPredicate",
     "CyclicPlan",
+    "CYCLIC_EXECUTION_CHOICES",
+    "cyclic_attr_distincts",
     "cyclic_directed_stats",
     "cyclic_signature",
     "decompose",
@@ -53,7 +55,12 @@ __all__ = [
     "spanning_tree_decomposition",
     "stats_for_tree",
     "tree_query_from_residuals",
+    "wcoj_cost",
 ]
+
+#: valid values of the ``cyclic_execution`` planner knob: ``auto``
+#: costs both strategies per query and picks the cheaper one
+CYCLIC_EXECUTION_CHOICES = ("auto", "tree_filter", "wcoj")
 
 #: floor for log-space tree weights (a zero-selectivity edge would
 #: otherwise produce -inf and poison heap ordering)
@@ -160,6 +167,17 @@ def decompose(parsed, tree_predicates, driver=None):
     forming a spanning tree; everything else becomes a residual filter
     (multiset semantics, so parallel predicates between one relation
     pair split correctly between tree and residuals).
+
+    Round-trip law: for any plan this builds,
+    ``tree_query_from_residuals(parsed, plan.residuals,
+    plan.query.root)`` reconstructs ``plan.query`` edge for edge — tree
+    edges and residuals partition the predicate *multiset*, so each
+    predicate is applied exactly once by whichever execution strategy
+    consumes the plan (the tree join applies edges and the residual
+    stage applies residuals under ``tree_filter``; the
+    variable-elimination operator in :mod:`repro.engine.wcoj` applies
+    each predicate once with its strategy-appropriate semantics).  The
+    plan linter's edge-XOR-residual passes check exactly this split.
     """
     relations = list(parsed.relations)
     if driver is None:
@@ -177,10 +195,16 @@ def decompose(parsed, tree_predicates, driver=None):
 def tree_query_from_residuals(parsed, residuals, driver):
     """Rebuild the rooted spanning tree a plan was optimized with.
 
-    The inverse of recording only the residuals (e.g. in a picklable
-    :class:`~repro.planner.PlanSpec`): the tree is the query's
-    predicate multiset minus the residual predicates, rooted at the
-    plan's driver.
+    The inverse of :func:`decompose` when only the residuals were
+    recorded (e.g. in a picklable :class:`~repro.planner.PlanSpec`):
+    the tree is the query's predicate *multiset* minus the residual
+    predicates — one removal per residual occurrence, so duplicate
+    predicates split between tree and residuals survive the round trip
+    — rooted at the plan's driver.  Because the reconstruction
+    partitions the multiset, rehydrated plans keep the edge-XOR-residual
+    invariant: no predicate can be applied twice (once as a tree edge
+    and again as a residual) by either the tree+filter or the WCOJ
+    execution strategy.
     """
     remaining = list(parsed.join_predicates)
     for residual in residuals:
@@ -441,6 +465,103 @@ def residual_filter_cost(expected_input, selectivities, weights):
     return cost
 
 
+def cyclic_attr_distincts(catalog, parsed):
+    """Distinct-value counts per ``(relation, attribute)`` in predicates.
+
+    The statistic :func:`wcoj_cost` consumes: one ``np.unique`` scan per
+    distinct predicate endpoint.  Layout-independent (the count ignores
+    physical row order), so the planner derives it once per data token
+    and caches it alongside the directed cyclic stats.
+    """
+    distincts = {}
+    for rel_a, attr_a, rel_b, attr_b in parsed.join_predicates:
+        for alias, attr in ((rel_a, attr_a), (rel_b, attr_b)):
+            if (alias, attr) not in distincts:
+                column = catalog.table(alias).column(attr)
+                distincts[(alias, attr)] = int(len(np.unique(column)))
+    return distincts
+
+
+def wcoj_cost(order, distincts, sizes, weights):
+    """Expected weighted cost of worst-case-optimal evaluation.
+
+    The counterpart of tree-join cost + :func:`residual_filter_cost`
+    for the strategy in :mod:`repro.engine.wcoj`, simulated level by
+    level over the planned variable ``order`` (tuples of
+    ``(relation, attribute)`` members per variable, e.g. from
+    :func:`repro.engine.wcoj.plan_variable_order`):
+
+    * each level probes the expansion relation once per frontier prefix
+      (``hash_probe``) and generates its candidate extensions
+      (``tuple_generation``) — at most the expansion member's distinct
+      count, and at most the expansion relation's rows per bound group;
+    * every other member of the variable checks each candidate
+      (``semijoin_probe``; the executor splits these between
+      ``semijoin_probes`` and ``residual_checks`` by predicate kind,
+      but both price like one vectorized comparison per candidate).
+      Survival is estimated as domain containment — ``d_member /
+      d_expand`` — further capped by the member relation's expected
+      rows per bound group when that relation is already constrained;
+    * the final expansion re-probes each relation once per output-frame
+      prefix and generates the flat tuples, mirroring the flat driver.
+
+    ``distincts`` comes from :func:`cyclic_attr_distincts`; ``sizes``
+    maps alias to cardinality (the same map
+    :func:`cyclic_directed_stats` returns).  The absolute value is
+    comparable with the tree+filter total the planner assembles, which
+    is all ``cyclic_execution="auto"`` needs: on dense cyclic cores the
+    tree join's expected output explodes while the wcoj frontier stays
+    near the true result size, and the comparison flips accordingly.
+    """
+    prefixes = 1.0
+    cost = 0.0
+    bound = {}  # relation -> product of distinct counts of bound attrs
+
+    def rows_per_group(rel):
+        size = float(sizes.get(rel, 1.0))
+        return max(1.0, size / bound.get(rel, 1.0))
+
+    for members in order:
+        expand = min(
+            members,
+            key=lambda m: (m[0] not in bound, distincts.get(m, 1), m),
+        )
+        d_expand = max(float(distincts.get(expand, 1)), 1.0)
+        if expand[0] in bound:
+            extensions = min(d_expand, rows_per_group(expand[0]))
+        else:
+            extensions = d_expand
+        cost += prefixes * weights.hash_probe
+        candidates = prefixes * extensions
+        cost += candidates * weights.tuple_generation
+        checked_rels = {expand[0]}
+        for member in members:
+            if member == expand:
+                continue
+            d_member = max(float(distincts.get(member, 1)), 1.0)
+            cost += candidates * weights.semijoin_probe
+            survive = min(1.0, d_member / d_expand)
+            rel = member[0]
+            if rel in bound and rel not in checked_rels:
+                survive = min(
+                    survive, min(1.0, rows_per_group(rel) / d_member)
+                )
+            checked_rels.add(rel)
+            candidates *= survive
+        prefixes = candidates
+        for member in members:
+            bound[member[0]] = (
+                bound.get(member[0], 1.0)
+                * max(float(distincts.get(member, 1)), 1.0)
+            )
+    out = prefixes
+    for rel in sorted(bound):
+        cost += out * weights.hash_probe
+        out *= rows_per_group(rel)
+        cost += out * weights.tuple_generation
+    return cost
+
+
 # ----------------------------------------------------------------------
 # Residual filtering (execution)
 # ----------------------------------------------------------------------
@@ -571,6 +692,75 @@ def apply_residuals(catalog, residuals, rows_by_relation, counters=None,
     return filtered
 
 
+def _push_down_residuals(catalog, residuals, factorized, counters=None,
+                         kernels=None):
+    """Apply ancestor/descendant residuals *before* expansion.
+
+    A residual whose two relations lie on one root-to-leaf path of the
+    spanning tree is decidable per factorized entry: every flat tuple
+    containing descendant entry ``e`` reaches the same ancestor entry
+    through the ``parent_ptr`` chain, so comparing the two base values
+    once per entry and clearing the descendant's ``alive`` bit filters
+    the factorized result exactly — *before* the entries multiply out
+    through expansion, which is where tree+filter used to pay for every
+    doomed combination.  Comparison semantics are unchanged
+    (:func:`exact_equal`, via the kernel ``equal_mask``), and each
+    check bumps the existing ``residual_checks`` counter once per alive
+    descendant entry.
+
+    Returns the residuals that cross branches of the tree and must
+    still be applied on expanded batches.  Self-join residuals
+    (both sides one relation) are on a trivial path and push down too.
+    """
+    if kernels is None:
+        kernels = _default_kernels()
+    query = factorized.query
+
+    def ancestors(rel):
+        chain = [rel]
+        while chain[-1] != query.root:
+            chain.append(query.parent(chain[-1]))
+        return chain
+
+    remaining = []
+    pushed = False
+    for residual in residuals:
+        rel_a, attr_a, rel_b, attr_b = residual.key
+        if rel_b in ancestors(rel_a):
+            descendant, desc_attr = rel_a, attr_a
+            ancestor, anc_attr = rel_b, attr_b
+        elif rel_a in ancestors(rel_b):
+            descendant, desc_attr = rel_b, attr_b
+            ancestor, anc_attr = rel_a, attr_a
+        else:
+            remaining.append(residual)
+            continue
+        node = factorized.node(descendant)
+        entries = node.alive_indices()
+        if counters is not None:
+            counters.residual_checks += len(entries)
+        if not len(entries):
+            continue
+        pointer = entries
+        current = descendant
+        while current != ancestor:
+            pointer = factorized.node(current).parent_ptr[pointer]
+            current = query.parent(current)
+        values_desc = _base_values(
+            catalog, descendant, desc_attr, node.rows[entries], kernels
+        )
+        values_anc = _base_values(
+            catalog, ancestor, anc_attr,
+            factorized.node(ancestor).rows[pointer], kernels,
+        )
+        match = kernels.equal_mask(values_desc, values_anc)
+        node.alive[entries[~np.asarray(match, dtype=bool)]] = False
+        pushed = True
+    if pushed:
+        factorized.propagate_deaths()
+    return remaining
+
+
 def _row_batches(rows_by_relation, batch_rows):
     """Slice a flat row frame into zero-copy row-range batches."""
     if not rows_by_relation:
@@ -603,9 +793,13 @@ def execute_cyclic(
 
     Returns ``(output_size, execution_result, output_rows)``; the
     execution result carries the tree-join counters plus
-    ``residual_checks`` / ``residual_input_tuples``.  Residual
-    filtering happens batch-at-a-time on the flat result, so cyclic
-    evaluation always pays the expansion (there is no factorized output
+    ``residual_checks`` / ``residual_input_tuples``.  Under factorized
+    modes, residuals whose relations share a root-to-leaf tree path are
+    applied to factorized *entries* before expansion
+    (:func:`_push_down_residuals`) — the doomed combinations never
+    multiply out — and only cross-branch residuals are filtered
+    batch-at-a-time on the expanded result.  Flat modes filter all
+    residuals on the materialized frame (there is no factorized output
     for cyclic queries — residual predicates break factorization).
 
     Both pipeline families account the residual stage identically: the
@@ -646,7 +840,14 @@ def execute_cyclic(
             max_intermediate_tuples=max_intermediate_tuples,
             execution=execution,
         )
-        pre_filter = result.output_size
+        # Root-to-leaf residuals filter factorized entries before they
+        # multiply out; only cross-branch residuals still need the
+        # expanded batches below.
+        residuals = _push_down_residuals(
+            catalog, plan.residuals, result.factorized,
+            counters=result.counters, kernels=kernels,
+        )
+        pre_filter = result.factorized.count_rows()
         if pre_filter > max_intermediate_tuples:
             raise BudgetExceededError(
                 str(mode), "<expansion>", pre_filter, max_intermediate_tuples
@@ -671,15 +872,17 @@ def execute_cyclic(
             max_intermediate_tuples=max_intermediate_tuples,
             execution=execution,
         )
+        residuals = list(plan.residuals)
         pre_filter = result.output_size
         batches = _row_batches(result.output_rows or {}, expansion_batch)
 
     result.counters.residual_input_tuples += pre_filter
+    result.counters.note_intermediate(pre_filter)
     total = 0
     collected = [] if collect_output else None
     for batch in batches:
         batch_size, filtered = _filter_batch(
-            catalog, plan.residuals, batch,
+            catalog, residuals, batch,
             counters=result.counters, collect=collect_output,
             kernels=kernels,
         )

@@ -68,7 +68,16 @@ class ExecutionCounters:
     #: only) — the observed residual selectivity is
     #: ``output_size / residual_input_tuples``
     residual_input_tuples: int = 0
+    #: high-water mark of materialized intermediate tuples (widest join
+    #: frame / factorized node / pre-filter expansion / wcoj frontier);
+    #: a size, not work, so it carries no weight in :meth:`weighted_cost`
+    peak_intermediate_tuples: int = 0
     hash_probes_by_relation: dict = field(default_factory=dict)
+
+    def note_intermediate(self, size):
+        """Record an intermediate materialization high-water mark."""
+        if size > self.peak_intermediate_tuples:
+            self.peak_intermediate_tuples = int(size)
 
     def count_hash_probes(self, relation, probes):
         self.hash_probes += probes
@@ -219,6 +228,7 @@ def _run_factorized(query, catalog, order, indexes, bitvectors, checks_after,
                                          lookup.counts[matched])
         result.add_node(relation, matches, parent_ptr)
         counters.tuples_generated += len(matches)
+        counters.note_intermediate(len(matches))
         result.propagate_deaths()
         if bitvectors is not None:
             for pending in checks_after[relation]:
@@ -411,6 +421,7 @@ def _run_flat_driver(query, catalog, order, indexes, bitvectors, checks_after,
                  for rel, rows in frame.items()}
         frame[relation] = matches
         counters.tuples_generated += len(matches)
+        counters.note_intermediate(len(matches))
         if bitvectors is not None:
             for pending in checks_after[relation]:
                 apply_check(pending)

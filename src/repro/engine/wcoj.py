@@ -1,0 +1,572 @@
+"""Worst-case-optimal (generic) join for residual-heavy cyclic cores.
+
+:func:`execute_cyclic <repro.core.cyclic.execute_cyclic>` evaluates a
+cyclic query as *tree join + residual filters*: the spanning tree runs
+on the full engine and every residual predicate is re-applied to the
+expanded flat result.  On dense cyclic graphs with skewed keys that
+tree join materializes intermediates a worst-case-optimal evaluation
+would never produce — the classic triangle-query blowup the generic
+join (NPRR / LeapFrog TrieJoin family) avoids by joining one
+*attribute* at a time instead of one relation at a time.
+
+:func:`execute_wcoj` is that operator, built over the existing storage
+structures and kernel split:
+
+* **variables** are the equivalence classes of ``(relation, attribute)``
+  pairs connected by the query's join predicates — tree edges and
+  residuals alike, each applied exactly once (the edge XOR residual
+  invariant the plan linter checks holds for both strategies);
+* per relation, a *chain index* binds its attributes in the global
+  variable order: after binding attribute ``k`` every row carries a
+  dense group id for its value combination over the first ``k`` bound
+  attributes, and the sorted code array ``group_id * d + value_rank``
+  supports both prefix-extension scans
+  (:meth:`~repro.engine.kernels.VectorizedKernels.bounded_ranges`) and
+  membership probes
+  (:meth:`~repro.engine.kernels.VectorizedKernels.find_positions`) —
+  the intersection work of the generic join, vectorized;
+* every per-candidate step routes through the kernel object, so the
+  operator has the same two data planes as the rest of the engine: the
+  NumPy path and the pure-Python interpreted oracle produce
+  bit-identical results and :class:`~repro.engine.executor.ExecutionCounters`.
+
+Exactness mirrors the tree+filter strategy predicate for predicate:
+a predicate the spanning tree covers compares keys with hash-index
+probe semantics (``find_positions``: the searchsorted common dtype,
+lossy collisions resolve leftmost), a residual predicate compares with
+exact numeric semantics (``find_positions_exact`` /
+:func:`~repro.core.cyclic.exact_equal`), and values *propagate* — a
+membership hit assigns the matched relation its own stored value, which
+is what later predicates compare against.  That is what makes results
+bit-identical to tree+filter even on NaN / bool / ``>= 2**53`` keys.
+
+All structures are built from base-row-ordered columns
+(:meth:`~repro.storage.Table.gather`), so results and counters are
+independent of the catalog's physical layout (shard counts included).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..modes import ExecutionMode
+from ..storage.hashindex import HashIndex
+from .executor import BudgetExceededError, ExecutionCounters, ExecutionResult
+from .kernels import get_kernels, resolve_execution
+
+__all__ = [
+    "execute_wcoj",
+    "plan_variable_order",
+    "variable_classes",
+]
+
+
+def variable_classes(predicates):
+    """The join variables of a predicate set.
+
+    ``predicates`` is an iterable of the parser's 4-tuples
+    ``(rel_a, attr_a, rel_b, attr_b)`` (tree edges and residuals
+    together).  Returns a list of *classes* — tuples of sorted
+    ``(relation, attribute)`` members transitively connected by
+    predicates — in canonical (sorted) order.  Each class is one
+    variable of the generic join: all its members must hold equal
+    values in every result tuple.
+    """
+    parent = {}
+
+    def find(member):
+        while parent[member] != member:
+            parent[member] = parent[parent[member]]
+            member = parent[member]
+        return member
+
+    for rel_a, attr_a, rel_b, attr_b in predicates:
+        a, b = (rel_a, attr_a), (rel_b, attr_b)
+        parent.setdefault(a, a)
+        parent.setdefault(b, b)
+        root_a, root_b = find(a), find(b)
+        if root_a != root_b:
+            parent[root_a] = root_b
+    groups = {}
+    for member in sorted(parent):
+        groups.setdefault(find(member), []).append(member)
+    return [tuple(members) for members in sorted(groups.values())]
+
+
+def plan_variable_order(classes, distincts):
+    """A deterministic greedy variable-elimination order.
+
+    Starts at the globally smallest variable (minimum distinct count
+    over its members), then repeatedly picks the cheapest variable that
+    shares a relation with an already-bound one (falling back to the
+    global minimum when none connects), ties broken on the canonical
+    member rendering.  ``distincts`` maps ``(relation, attribute)`` to
+    a (possibly estimated) distinct-value count; the executor derives
+    it from the actual per-attribute uniques, the planner from cached
+    statistics — any order is *correct*, the heuristic only shapes the
+    frontier sizes.
+    """
+    remaining = list(range(len(classes)))
+    bound_rels = set()
+    order = []
+    while remaining:
+        def rank(index):
+            members = classes[index]
+            connected = any(rel in bound_rels for rel, _ in members)
+            smallest = min(distincts.get(m, 0) for m in members)
+            return (bool(order) and not connected, smallest, members)
+
+        pick = min(remaining, key=rank)
+        remaining.remove(pick)
+        order.append(classes[pick])
+        bound_rels.update(rel for rel, _ in classes[pick])
+    return tuple(order)
+
+
+class _Level:
+    """The per-variable micro-plan: expand one member, check the rest."""
+
+    __slots__ = ("members", "ops")
+
+    def __init__(self, members, ops):
+        self.members = members
+        #: ordered micro-ops:
+        #: ``("expand", member)`` — enumerate candidate values of a
+        #: member (constrained by its relation's chain group when the
+        #: relation is already bound);
+        #: ``("assign", kind, source, target)`` — one-to-one membership
+        #: assignment of an unvalued member from a valued one;
+        #: ``("check", kind, parent_member, child_member)`` — pairwise
+        #: filter between two valued members.
+        self.ops = ops
+
+
+def _plan_levels(order, predicates, distincts):
+    """One :class:`_Level` per variable of ``order``.
+
+    ``predicates`` is a list of ``(key4, kind)`` with ``kind`` in
+    ``("tree", "residual")``.  Predicate semantics dictate the op
+    shapes:
+
+    * a *tree* predicate carries hash-index probe semantics, which are
+      **directional** — parent values probe the child's key set, and a
+      lossy-upcast collision resolves to the child's leftmost colliding
+      key.  It may therefore only ``assign`` parent→child; with both
+      ends already valued it becomes a collision-aware ``check``
+      (probe position must equal the child's assigned value rank).
+    * a *residual* predicate is exact numeric equality — symmetric, and
+      one-to-one on a unique-value array (two distinct stored values of
+      one dtype cannot both exactly equal the same number), so it may
+      ``assign`` in either direction or ``check`` pairwise.
+
+    When no predicate can value a remaining member (e.g. a tree child
+    is valued but its parent is not), a secondary ``expand`` enumerates
+    a deterministically-chosen unvalued member and the blocked
+    predicates become checks.  Expansion choices prefer already-bound
+    relations, then members that are not tree children (so the common
+    two-member tree class expands at the parent and assigns forward),
+    then small distinct counts, with a canonical tie-break.
+    """
+    member_class = {
+        member: index
+        for index, members in enumerate(order)
+        for member in members
+    }
+    class_predicates = [[] for _ in order]
+    for key, kind in predicates:
+        class_predicates[member_class[(key[0], key[1])]].append((key, kind))
+
+    bound_rels = set()
+    levels = []
+    for index, members in enumerate(order):
+        ranked = sorted(
+            class_predicates[index],
+            key=lambda entry: (entry[1] != "tree", entry[0]),
+        )
+        tree_children = {
+            (key[2], key[3]) for key, kind in ranked if kind == "tree"
+        }
+
+        def expand_rank(member):
+            return (
+                member[0] not in bound_rels,
+                member in tree_children,
+                distincts.get(member, 0),
+                member,
+            )
+
+        ops = []
+        valued = set()
+        pending = list(ranked)
+        ops.append(("expand", min(members, key=expand_rank)))
+        valued.add(ops[0][1])
+        while True:
+            progressed = False
+            for position, (key, kind) in enumerate(pending):
+                parent_m = (key[0], key[1])
+                child_m = (key[2], key[3])
+                if parent_m in valued and child_m in valued:
+                    ops.append(("check", kind, parent_m, child_m))
+                elif kind == "tree":
+                    if parent_m in valued:
+                        ops.append(("assign", kind, parent_m, child_m))
+                        valued.add(child_m)
+                    else:
+                        continue
+                elif parent_m in valued:
+                    ops.append(("assign", kind, parent_m, child_m))
+                    valued.add(child_m)
+                elif child_m in valued:
+                    ops.append(("assign", kind, child_m, parent_m))
+                    valued.add(parent_m)
+                else:
+                    continue
+                pending.pop(position)
+                progressed = True
+                break
+            if progressed:
+                continue
+            unvalued = [m for m in members if m not in valued]
+            if not unvalued:
+                break
+            pick = min(unvalued, key=expand_rank)
+            ops.append(("expand", pick))
+            valued.add(pick)
+        levels.append(_Level(tuple(members), tuple(ops)))
+        bound_rels.update(rel for rel, _ in members)
+    return levels
+
+
+def _base_column(table, attr):
+    """A column in base-row order (layout-independent structure build)."""
+    return table.gather(
+        np.arange(len(table), dtype=np.int64), columns=[attr]
+    )[attr]
+
+
+def execute_wcoj(
+    catalog,
+    plan,
+    mode=ExecutionMode.COM,
+    order=None,
+    collect_output=False,
+    expansion_batch=8192,
+    max_intermediate_tuples=50_000_000,
+    variable_order=None,
+    execution="auto",
+):
+    """Evaluate a cyclic plan with the worst-case-optimal strategy.
+
+    Same calling convention and return shape as
+    :func:`~repro.core.cyclic.execute_cyclic` —
+    ``(output_size, execution_result, output_rows)`` — so
+    :meth:`~repro.planner.PhysicalPlan.execute` can route either
+    strategy.  ``mode`` and ``order`` are recorded on the result for
+    plan compatibility but do not steer the evaluation: the operator
+    joins one variable at a time, not one relation at a time.
+
+    ``variable_order`` optionally pins the elimination order (the
+    planner passes the order it costed, which plan fingerprints cover);
+    ``None`` derives the same greedy order from the actual per-attribute
+    distinct counts.  Any order over the query's variable classes is
+    correct — a mismatched set of classes raises ``ValueError``.
+
+    Counters: each level counts one ``hash_probe`` per frontier prefix
+    against the expansion relation and every generated candidate as
+    ``tuples_generated``; membership checks count per candidate —
+    ``semijoin_probes`` for tree-covered predicates, ``residual_checks``
+    for residual predicates (each predicate applied exactly once, same
+    as tree+filter).  The final expansion mirrors the flat driver's
+    accounting.  ``peak_intermediate_tuples`` tracks the widest
+    candidate pool / frontier / expansion batch — the quantity the
+    strategy exists to shrink.
+    """
+    mode = ExecutionMode(mode)
+    execution = resolve_execution(execution)
+    kernels = get_kernels(execution)
+    query = plan.query
+    start = time.perf_counter()
+    counters = ExecutionCounters()
+
+    predicates = [
+        ((edge.parent, edge.parent_attr, edge.child, edge.child_attr),
+         "tree")
+        for edge in query.edges
+    ]
+    predicates += [(residual.key, "residual") for residual in plan.residuals]
+    classes = variable_classes(key for key, _ in predicates)
+
+    # -- phase A: per-attribute value ranks (shared structure build) ---
+    build_start = time.perf_counter()
+    uniques = {}
+    ranks = {}
+    for members in classes:
+        for rel, attr in members:
+            if (rel, attr) in uniques:
+                continue
+            column = _base_column(catalog.table(rel), attr)
+            uniques[(rel, attr)], ranks[(rel, attr)] = np.unique(
+                column, return_inverse=True
+            )
+    distincts = {member: len(values) for member, values in uniques.items()}
+
+    if variable_order is not None:
+        supplied = [tuple(tuple(member) for member in members)
+                    for members in variable_order]
+        if sorted(supplied) != classes:
+            raise ValueError(
+                "variable_order does not cover this query's variable "
+                f"classes: got {supplied}, expected {classes}"
+            )
+        resolved_order = tuple(supplied)
+    else:
+        resolved_order = plan_variable_order(classes, distincts)
+    levels = _plan_levels(resolved_order, predicates, distincts)
+
+    # -- phase B: per-relation chain indexes in binding order ----------
+    # After binding attribute k of a relation, every row carries a dense
+    # group id over its first k bound values; the sorted code array
+    # ``group * d + rank`` is re-densified per step, so codes never
+    # exceed |R|**2 and int64 never overflows.
+    binding_sequence = []
+    for level in levels:
+        for op in level.ops:
+            if op[0] == "expand":
+                binding_sequence.append(op[1])
+            elif op[0] == "assign":
+                binding_sequence.append(op[3])
+    row_groups = {}
+    step_codes = {}
+    for rel, attr in binding_sequence:
+        if rel not in row_groups:
+            row_groups[rel] = np.zeros(
+                len(catalog.table(rel)), dtype=np.int64
+            )
+        codes_per_row = (
+            row_groups[rel] * np.int64(distincts[(rel, attr)])
+            + ranks[(rel, attr)]
+        )
+        codes = np.unique(codes_per_row)
+        row_groups[rel] = np.searchsorted(codes, codes_per_row)
+        step_codes[(rel, attr)] = codes
+    last_step = {}
+    for rel, attr in binding_sequence:
+        last_step[rel] = (rel, attr)
+    final_index = {
+        rel: HashIndex(groups) for rel, groups in row_groups.items()
+    }
+    group_counts = {
+        rel: np.bincount(groups, minlength=len(step_codes[last_step[rel]]))
+        for rel, groups in row_groups.items()
+    }
+    index_build_seconds = time.perf_counter() - build_start
+
+    # -- variable elimination ------------------------------------------
+    frontier = {}  # relation -> dense group id per frontier prefix
+    width = 1
+    for level in levels:
+        parent = np.arange(width, dtype=np.int64)
+        new_groups = {}
+        values = {}
+        value_ranks = {}
+
+        def current_group(rel):
+            if rel in new_groups:
+                return new_groups[rel]
+            if rel in frontier:
+                return frontier[rel][parent]
+            return None
+
+        for op in level.ops:
+            if op[0] == "expand":
+                member = op[1]
+                rel = member[0]
+                codes = step_codes[member]
+                d = np.int64(distincts[member])
+                counters.count_hash_probes(rel, len(parent))
+                groups = current_group(rel)
+                if groups is not None:
+                    starts, counts = kernels.bounded_ranges(
+                        codes, groups * d, (groups + 1) * d
+                    )
+                    positions = kernels.concat_ranges(starts, counts)
+                    spread = kernels.repeat_rows(
+                        np.arange(len(parent), dtype=np.int64), counts
+                    )
+                    rank = codes[positions] % d
+                else:
+                    # first binding of this relation: step codes are the
+                    # value ranks themselves, every candidate extends
+                    # with all of them
+                    fanout = np.full(len(parent), int(d), dtype=np.int64)
+                    positions = kernels.concat_ranges(
+                        np.zeros(len(parent), dtype=np.int64), fanout
+                    )
+                    spread = kernels.repeat_rows(
+                        np.arange(len(parent), dtype=np.int64), fanout
+                    )
+                    rank = positions
+                parent = parent[spread]
+                new_groups = {
+                    r: g[spread] for r, g in new_groups.items()
+                }
+                values = {m: v[spread] for m, v in values.items()}
+                value_ranks = {
+                    m: r[spread] for m, r in value_ranks.items()
+                }
+                new_groups[rel] = positions
+                values[member] = uniques[member][rank]
+                value_ranks[member] = rank
+                counters.tuples_generated += len(parent)
+                counters.note_intermediate(len(parent))
+                if len(parent) > max_intermediate_tuples:
+                    raise BudgetExceededError(
+                        "WCOJ", rel, len(parent), max_intermediate_tuples
+                    )
+            elif op[0] == "assign":
+                _, kind, source, target = op
+                source_values = values[source]
+                if kind == "tree":
+                    counters.semijoin_probes += len(source_values)
+                    rank = kernels.find_positions(
+                        uniques[target], source_values
+                    )
+                else:
+                    counters.residual_checks += len(source_values)
+                    rank = kernels.find_positions_exact(
+                        uniques[target], source_values
+                    )
+                target_rel = target[0]
+                previous = current_group(target_rel)
+                if previous is None:
+                    previous = np.zeros(len(parent), dtype=np.int64)
+                code = previous * np.int64(distincts[target]) + rank
+                support = kernels.find_positions(step_codes[target], code)
+                keep = np.flatnonzero((rank >= 0) & (support >= 0))
+                parent = parent[keep]
+                new_groups = {
+                    r: g[keep] for r, g in new_groups.items()
+                }
+                values = {m: v[keep] for m, v in values.items()}
+                value_ranks = {
+                    m: r[keep] for m, r in value_ranks.items()
+                }
+                new_groups[target_rel] = support[keep]
+                values[target] = uniques[target][rank[keep]]
+                value_ranks[target] = rank[keep]
+            else:
+                _, kind, parent_member, child_member = op
+                if kind == "tree":
+                    # collision-aware pairwise form of the hash probe:
+                    # the parent value must land on the child's assigned
+                    # rank (a lossy-upcast collision resolves leftmost,
+                    # exactly as a HashIndex probe would)
+                    counters.semijoin_probes += len(parent)
+                    probe = kernels.find_positions(
+                        uniques[child_member], values[parent_member]
+                    )
+                    keep = np.flatnonzero(
+                        probe == value_ranks[child_member]
+                    )
+                else:
+                    counters.residual_checks += len(parent)
+                    match = kernels.equal_mask(
+                        values[parent_member], values[child_member]
+                    )
+                    keep = np.flatnonzero(match)
+                parent = parent[keep]
+                new_groups = {
+                    r: g[keep] for r, g in new_groups.items()
+                }
+                values = {m: v[keep] for m, v in values.items()}
+                value_ranks = {
+                    m: r[keep] for m, r in value_ranks.items()
+                }
+
+        frontier = {
+            rel: groups[parent] for rel, groups in frontier.items()
+            if rel not in new_groups
+        }
+        frontier.update(new_groups)
+        width = len(parent)
+        counters.note_intermediate(width)
+
+    # -- final expansion (mirrors the flat driver's accounting) --------
+    expansion_order = sorted(frontier)
+    weights = np.ones(width, dtype=np.float64)
+    for rel in expansion_order:
+        weights *= group_counts[rel][frontier[rel]]
+    total_estimate = float(weights.sum())
+    if total_estimate > max_intermediate_tuples:
+        raise BudgetExceededError(
+            "WCOJ", "<expansion>", int(total_estimate),
+            max_intermediate_tuples,
+        )
+
+    output_size = 0
+    collected = [] if collect_output else None
+    begin = 0
+    while begin < width:
+        end = begin + 1
+        batch_rows = weights[begin]
+        while (
+            end < width
+            and end - begin < expansion_batch
+            and batch_rows + weights[end] <= 4_000_000
+        ):
+            batch_rows += weights[end]
+            end += 1
+        chunk = slice(begin, end)
+        frame = {}
+        pointer = np.arange(end - begin, dtype=np.int64)
+        for rel in expansion_order:
+            group_keys = frontier[rel][chunk][pointer]
+            counters.count_hash_probes(rel, len(group_keys))
+            lookup = kernels.lookup(final_index[rel], group_keys)
+            matches = lookup.matching_rows()
+            for other in frame:
+                frame[other] = kernels.repeat_rows(
+                    frame[other], lookup.counts
+                )
+            pointer = kernels.repeat_rows(pointer, lookup.counts)
+            frame[rel] = matches
+            counters.tuples_generated += len(matches)
+            counters.note_intermediate(len(matches))
+        output_size += len(pointer)
+        if collected is not None and len(pointer):
+            collected.append(frame)
+        begin = end
+
+    output_rows = None
+    if collect_output:
+        if collected:
+            output_rows = {
+                rel: np.concatenate([batch[rel] for batch in collected])
+                for rel in collected[0]
+            }
+        else:
+            output_rows = {
+                rel: np.empty(0, dtype=np.int64) for rel in query.relations
+            }
+
+    shards_used = max(
+        (getattr(catalog.table(rel), "num_shards", 1)
+         for rel in query.relations),
+        default=1,
+    )
+    result = ExecutionResult(
+        mode=mode,
+        order=list(order) if order is not None
+        else list(query.non_root_relations),
+        output_size=output_size,
+        counters=counters,
+        wall_time=time.perf_counter() - start,
+        output_rows=output_rows,
+        factorized=None,
+        index_build_seconds=index_build_seconds,
+        shards_used=shards_used,
+        execution=execution,
+    )
+    return output_size, result, output_rows

@@ -37,9 +37,11 @@ from .core.costmodel import (
     plan_cost,
 )
 from .core.cyclic import (
+    CYCLIC_EXECUTION_CHOICES,
     CyclicPlan,
     ResidualPredicate,
     _rooted_tree,
+    cyclic_attr_distincts,
     cyclic_directed_stats,
     cyclic_signature,
     edge_pair_selectivity,
@@ -49,6 +51,7 @@ from .core.cyclic import (
     residual_filter_cost,
     stats_for_tree,
     tree_query_from_residuals,
+    wcoj_cost,
 )
 from .analysis import VALIDATE_CHOICES, PlanVerifier
 from .core.lru import LRUCache
@@ -76,6 +79,7 @@ from .engine.kernels import (
     EXECUTION_CHOICES,
     resolve_execution as _resolve_kernel_execution,
 )
+from .engine.wcoj import execute_wcoj, plan_variable_order, variable_classes
 from .modes import ExecutionMode
 from .storage.partition import partition_replacements
 from .storage.table import Catalog, Table
@@ -178,6 +182,14 @@ class PhysicalPlan:
     #: resolved kernel path ("vectorized" / "interpreted") the plan
     #: executes with — part of the fingerprint and the plan-cache key
     execution: str = "vectorized"
+    #: resolved cyclic-core strategy ("tree_filter" / "wcoj") the
+    #: ``cyclic_execution`` knob selected — always "tree_filter" for
+    #: acyclic plans; part of the fingerprint
+    cyclic_strategy: str = "tree_filter"
+    #: costed variable-elimination order for a wcoj plan: a tuple of
+    #: variables, each a tuple of ``(relation, attribute)`` members —
+    #: empty for tree_filter plans; part of the fingerprint
+    wcoj_variable_order: tuple = ()
     #: static-verifier findings (``validate="basic"|"full"``), in
     #: emission order — observational metadata, never fingerprinted
     diagnostics: tuple = ()
@@ -190,12 +202,29 @@ class PhysicalPlan:
                 max_intermediate_tuples=50_000_000):
         """Run the plan on the engine.
 
-        Cyclic plans route through
-        :func:`~repro.core.cyclic.execute_cyclic` (tree join + residual
-        filters); their output is always flat — residual predicates
-        break factorization, so ``flat_output`` is moot for them.
+        Cyclic plans route by :attr:`cyclic_strategy`: ``tree_filter``
+        runs :func:`~repro.core.cyclic.execute_cyclic` (tree join +
+        residual filters, with root-to-leaf residuals pushed into
+        factorized expansion), ``wcoj`` runs
+        :func:`~repro.engine.wcoj.execute_wcoj` (attribute-at-a-time
+        variable elimination over the costed
+        :attr:`wcoj_variable_order`).  Either way cyclic output is
+        always flat — residual predicates break factorization, so
+        ``flat_output`` is moot for them.
         """
         if self.residuals:
+            if self.cyclic_strategy == "wcoj":
+                _, result, _ = execute_wcoj(
+                    self.catalog,
+                    CyclicPlan(self.query, list(self.residuals)),
+                    mode=self.mode,
+                    order=self.order,
+                    collect_output=collect_output,
+                    max_intermediate_tuples=max_intermediate_tuples,
+                    variable_order=self.wcoj_variable_order or None,
+                    execution=self.execution,
+                )
+                return result
             _, result, _ = execute_cyclic(
                 self.catalog,
                 CyclicPlan(self.query, list(self.residuals)),
@@ -224,7 +253,8 @@ class PhysicalPlan:
 
         Covers everything the optimizer decided — driver, tree edges,
         join order, mode, semi-join child orders, residuals, shard
-        fan-out — plus the catalog content it was planned against, so
+        fan-out, kernel path, cyclic strategy and its wcoj variable
+        order — plus the catalog content it was planned against, so
         two planning passes that resolved identically (e.g. a cache hit
         and the plan it was seeded from, or a worker-planned spec and
         its rehydration) fingerprint identically.
@@ -244,6 +274,8 @@ class PhysicalPlan:
             tuple(residual.key for residual in self.residuals),
             self.num_shards,
             self.execution,
+            self.cyclic_strategy,
+            tuple(tuple(member) for member in self.wcoj_variable_order),
             self.catalog.fingerprint(),
         ))
         return hashlib.blake2b(payload.encode(), digest_size=16).hexdigest()
@@ -286,6 +318,13 @@ class PhysicalPlan:
                 f"  RESIDUAL {residual.relation_a}.{residual.attr_a} = "
                 f"{residual.relation_b}.{residual.attr_b}{estimated}"
             )
+        if self.cyclic_strategy == "wcoj":
+            rendered = " -> ".join(
+                "{" + ", ".join(f"{rel}.{attr}" for rel, attr in members)
+                + "}"
+                for members in self.wcoj_variable_order
+            )
+            lines.append(f"  STRATEGY wcoj variables: {rendered}")
         return "\n".join(lines)
 
     def to_spec(self, catalog_fingerprint):
@@ -311,6 +350,10 @@ class PhysicalPlan:
             residuals=tuple(self.residuals),
             residual_selectivities=tuple(self.residual_selectivities),
             execution=self.execution,
+            cyclic_strategy=self.cyclic_strategy,
+            wcoj_variable_order=tuple(
+                tuple(member) for member in self.wcoj_variable_order
+            ),
         )
 
     def __repr__(self):
@@ -362,6 +405,12 @@ class PlanSpec:
     #: resolved kernel path the plan executes with (defaults keep specs
     #: pickled before this field existed rehydratable)
     execution: str = "vectorized"
+    #: resolved cyclic-core strategy; "tree_filter" default keeps older
+    #: pickled specs rehydratable
+    cyclic_strategy: str = "tree_filter"
+    #: costed wcoj variable-elimination order (tuples of
+    #: ``(relation, attribute)`` member tuples); empty for tree_filter
+    wcoj_variable_order: tuple = ()
 
     def __repr__(self):
         residuals = (
@@ -484,7 +533,7 @@ class Planner:
     def __init__(self, catalog, weights=None, eps=0.01, stats_cache=None,
                  idp_block_size=8, beam_width=8, planning_budget_ms=None,
                  partitioning="off", max_spanning_trees=16,
-                 execution="auto", validate="off"):
+                 execution="auto", cyclic_execution="auto", validate="off"):
         self.catalog = catalog
         self.weights = weights or CostWeights()
         self.eps = eps
@@ -519,6 +568,12 @@ class Planner:
                 f"got {execution!r}"
             )
         self.execution = execution
+        if cyclic_execution not in CYCLIC_EXECUTION_CHOICES:
+            raise ValueError(
+                f"cyclic_execution must be one of "
+                f"{CYCLIC_EXECUTION_CHOICES}, got {cyclic_execution!r}"
+            )
+        self.cyclic_execution = cyclic_execution
         if validate not in VALIDATE_CHOICES:
             raise ValueError(
                 f"validate must be one of {VALIDATE_CHOICES}, "
@@ -967,6 +1022,7 @@ class Planner:
         planning_budget_ms=None,
         tree_search="joint",
         execution=None,
+        cyclic_execution=None,
         validate=None,
     ):
         """Build a :class:`PhysicalPlan`.
@@ -1027,6 +1083,18 @@ class Planner:
             paths produce bit-identical results and counters — the
             knob never changes the chosen plan, only the kernels it
             runs on.
+        cyclic_execution:
+            Cyclic queries only.  ``"tree_filter"`` evaluates the
+            spanning tree and filters residuals; ``"wcoj"`` evaluates
+            the cyclic core with the worst-case-optimal operator
+            (:mod:`repro.engine.wcoj`); ``"auto"`` (the planner default
+            when ``None``) costs both —
+            :func:`~repro.core.cyclic.wcoj_cost` vs. tree join +
+            :func:`~repro.core.cyclic.residual_filter_cost` — and picks
+            the cheaper strategy per query.  The resolved strategy (and
+            the costed wcoj variable order) lands in the plan
+            fingerprint and :class:`PlanSpec`; both strategies return
+            bit-identical results.
         validate:
             ``"off"``, ``"basic"`` or ``"full"``; ``None`` (default)
             uses the planner's configured default.  When on, the
@@ -1045,6 +1113,13 @@ class Planner:
         if tree_search not in ("joint", "greedy"):
             raise ValueError(
                 f'tree_search must be "joint" or "greedy", got {tree_search!r}'
+            )
+        if cyclic_execution is None:
+            cyclic_execution = self.cyclic_execution
+        if cyclic_execution not in CYCLIC_EXECUTION_CHOICES:
+            raise ValueError(
+                f"cyclic_execution must be one of "
+                f"{CYCLIC_EXECUTION_CHOICES}, got {cyclic_execution!r}"
             )
         if validate is None:
             validate = self.validate
@@ -1078,7 +1153,7 @@ class Planner:
             return self._validated(
                 self._plan_cyclic(
                     prep, modes, optimizer, driver, stats, deadline,
-                    tree_search, execution,
+                    tree_search, execution, cyclic_execution,
                 ),
                 prep, validate,
             )
@@ -1390,8 +1465,30 @@ class Planner:
         }
         return directed, sizes
 
+    def _cyclic_distincts(self, prep):
+        """Per-attribute distinct counts for the wcoj cost model.
+
+        Measured once per (data, join-graph) pair — the counts depend
+        on neither the spanning tree nor the rooting, so they share the
+        rooting-free :func:`~repro.core.cyclic.cyclic_signature` cache
+        slot family with the directed stats.
+        """
+        catalog, parsed = prep.stats_catalog, prep.query
+
+        def derive():
+            return cyclic_attr_distincts(catalog, parsed)
+
+        if self.stats_cache is not None and prep.data_token is not None:
+            return self.stats_cache.get_or_derive_signature(
+                prep.data_token,
+                cyclic_signature(parsed),
+                "cyclic-distincts",
+                derive,
+            )
+        return derive()
+
     def _plan_cyclic(self, prep, modes, optimizer, driver, stats, deadline,
-                     tree_search, execution):
+                     tree_search, execution, cyclic_execution):
         """Joint spanning-tree + join-order search for a cyclic query.
 
         The cyclic analogue of :meth:`_plan_driver_auto`, one level up:
@@ -1418,6 +1515,16 @@ class Planner:
         re-roots each candidate tree (proxy-ranked, as in the acyclic
         driver search); a ``deadline`` bounds the candidate sweep after
         the greedy tree, which is always fully evaluated.
+
+        ``cyclic_execution`` arbitrates the execution *strategy* on top
+        of the winning tree: ``"auto"`` prices the worst-case-optimal
+        operator (:func:`~repro.core.cyclic.wcoj_cost` over the greedy
+        variable order) against the winning tree+filter plan and keeps
+        the cheaper; ``"wcoj"`` / ``"tree_filter"`` force one side.  A
+        wcoj plan still records the winning spanning tree — its
+        residual split is what the edge-XOR-residual invariant and
+        rehydration key on — but executes the full cyclic predicate
+        set attribute-at-a-time instead.
         """
         parsed = prep.query
         if isinstance(stats, QueryStats):
@@ -1544,6 +1651,18 @@ class Planner:
                             residual_selectivities=residual_sels,
                             execution=execution,
                         )
+        if cyclic_execution != "tree_filter" and best.residuals:
+            distincts = self._cyclic_distincts(prep)
+            classes = variable_classes(predicates)
+            variable_order = plan_variable_order(classes, distincts)
+            strategy_cost = wcoj_cost(
+                variable_order, distincts, sizes, self.weights
+            )
+            if cyclic_execution == "wcoj" \
+                    or strategy_cost < best.predicted_cost:
+                best.cyclic_strategy = "wcoj"
+                best.wcoj_variable_order = variable_order
+                best.predicted_cost = strategy_cost
         # Partitioning follows the winning tree's probe attributes, so
         # it is applied only now (content-addressed, like every plan).
         catalog, effective_shards = self._apply_partitioning(
@@ -1630,6 +1749,11 @@ class Planner:
                 getattr(spec, "residual_selectivities", ())
             ),
             execution=getattr(spec, "execution", "vectorized"),
+            cyclic_strategy=getattr(spec, "cyclic_strategy", "tree_filter"),
+            wcoj_variable_order=tuple(
+                tuple(member)
+                for member in getattr(spec, "wcoj_variable_order", ())
+            ),
         )
         if validate != "off":
             source = query if isinstance(query, ParsedQuery) else None

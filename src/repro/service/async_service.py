@@ -330,6 +330,7 @@ class AsyncQueryService:
                             "max_spanning_trees":
                                 planner.max_spanning_trees,
                             "execution": planner.execution,
+                            "cyclic_execution": planner.cyclic_execution,
                             # workers verify what they plan; the spec
                             # additionally re-verifies on rehydration
                             "validate": planner.validate,

@@ -196,6 +196,12 @@ class QuerySession:
         the *resolved* path is part of the plan-cache key, so switching
         kernels misses instead of serving a plan pinned to the other
         path.
+    cyclic_execution:
+        Default cyclic strategy knob (``"auto"`` / ``"tree_filter"`` /
+        ``"wcoj"``), forwarded to the :class:`~repro.planner.Planner`.
+        Keyed *raw* in the plan cache: ``"auto"`` resolves per query by
+        the cost model (data-dependent), so it cannot share entries
+        with a forced strategy the way resolution-stable knobs do.
     validate:
         Static-verification level for cold plans (``"off"`` /
         ``"basic"`` / ``"full"``), forwarded to the
@@ -209,7 +215,8 @@ class QuerySession:
     def __init__(self, catalog, weights=None, eps=0.01, plan_cache_size=128,
                  stats_cache_size=256, idp_block_size=8, beam_width=8,
                  planning_budget_ms=None, partitioning="off",
-                 max_spanning_trees=16, execution="auto", validate="off"):
+                 max_spanning_trees=16, execution="auto",
+                 cyclic_execution="auto", validate="off"):
         self.catalog = catalog
         self.planner = Planner(
             catalog, weights=weights, eps=eps,
@@ -218,7 +225,8 @@ class QuerySession:
             planning_budget_ms=planning_budget_ms,
             partitioning=partitioning,
             max_spanning_trees=max_spanning_trees,
-            execution=execution, validate=validate,
+            execution=execution, cyclic_execution=cyclic_execution,
+            validate=validate,
         )
         self.plan_cache = PlanCache(plan_cache_size)
         self._last_fingerprint = None
@@ -229,7 +237,8 @@ class QuerySession:
 
     def _plan_options(self, mode, resolved_optimizer, driver, stats,
                       flat_output, resolved_shards, partition_floor,
-                      budget_ms, tree_search, resolved_execution):
+                      budget_ms, tree_search, resolved_execution,
+                      cyclic_execution):
         # Keyed on the *resolved* algorithm and shard count (never the
         # raw "auto"), so an auto-planned query and an explicit request
         # for the same resolution share one cache entry.  The scaling
@@ -260,6 +269,10 @@ class QuerySession:
             # resolved kernel path (never the raw "auto"): a plan pinned
             # to one path must not serve a request for the other
             resolved_execution,
+            # cyclic strategy knob, keyed RAW: "auto" resolves per query
+            # by data-dependent cost, so "auto" and a forced strategy
+            # must never share an entry even when they resolve alike
+            cyclic_execution,
         )
 
     @staticmethod
@@ -272,7 +285,8 @@ class QuerySession:
     def cache_key(self, query, mode="auto", optimizer="exhaustive",
                   driver="fixed", stats="exact", flat_output=True,
                   partitioning=None, planning_budget_ms=None,
-                  tree_search="joint", execution=None, validate=None):
+                  tree_search="joint", execution=None,
+                  cyclic_execution=None, validate=None):
         """The plan-cache key :meth:`plan` would use for this request.
 
         ``validate`` is accepted (so callers can forward uniform plan
@@ -307,19 +321,23 @@ class QuerySession:
             partitioning
         )
         resolved_execution = self.planner.resolve_execution(execution)
+        if cyclic_execution is None:
+            cyclic_execution = self.planner.cyclic_execution
         return self.plan_cache.key(
             query,
             fingerprint,
             self._plan_options(mode, resolved, driver, stats,
                                flat_output, resolved_shards,
                                partition_floor, planning_budget_ms,
-                               tree_search, resolved_execution),
+                               tree_search, resolved_execution,
+                               cyclic_execution),
         )
 
     def plan(self, query, mode="auto", optimizer="exhaustive", driver="fixed",
              stats="exact", flat_output=True, use_cache=True,
              partitioning=None, planning_budget_ms=None,
-             tree_search="joint", execution=None, validate=None):
+             tree_search="joint", execution=None, cyclic_execution=None,
+             validate=None):
         """A :class:`~repro.planner.PhysicalPlan`, via the plan cache.
 
         Accepts the same arguments as :meth:`Planner.plan` (including
@@ -341,14 +359,15 @@ class QuerySession:
             partitioning=partitioning,
             planning_budget_ms=planning_budget_ms,
             tree_search=tree_search, execution=execution,
-            validate=validate,
+            cyclic_execution=cyclic_execution, validate=validate,
         )[0]
 
     def _plan_with_hit(self, query, mode="auto", optimizer="exhaustive",
                        driver="fixed", stats="exact", flat_output=True,
                        use_cache=True, partitioning=None,
                        planning_budget_ms=None, tree_search="joint",
-                       execution=None, validate=None):
+                       execution=None, cyclic_execution=None,
+                       validate=None):
         """``(plan, cache_hit)`` — :meth:`plan` plus a race-free hit flag.
 
         The flag comes from *this call's own* cache lookup, never from
@@ -366,6 +385,7 @@ class QuerySession:
                 partitioning=partitioning,
                 planning_budget_ms=planning_budget_ms,
                 tree_search=tree_search, execution=execution,
+                cyclic_execution=cyclic_execution,
             )
             plan = self.plan_cache.get(key)
             if plan is not None:
@@ -376,7 +396,7 @@ class QuerySession:
                 partitioning=partitioning,
                 planning_budget_ms=planning_budget_ms,
                 tree_search=tree_search, execution=execution,
-                validate=validate,
+                cyclic_execution=cyclic_execution, validate=validate,
             )
             self.plan_cache.put(key, plan)
             return plan, False
@@ -384,7 +404,8 @@ class QuerySession:
             query, mode=mode, optimizer=optimizer, driver=driver,
             stats=stats, flat_output=flat_output, partitioning=partitioning,
             planning_budget_ms=planning_budget_ms, tree_search=tree_search,
-            execution=execution, validate=validate,
+            execution=execution, cyclic_execution=cyclic_execution,
+            validate=validate,
         ), False
 
     def explain(self, query, **plan_kwargs):

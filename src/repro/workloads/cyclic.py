@@ -125,7 +125,7 @@ CYCLIC_SHAPES = {
 
 
 def cyclic_catalog(parsed, rows_per_relation=256, key_domain=(64, 512),
-                   seed=0):
+                   seed=0, skew=None):
     """Random data backing a cyclic query's schema.
 
     Every relation gets ``rows_per_relation`` rows with one key column
@@ -134,11 +134,28 @@ def cyclic_catalog(parsed, rows_per_relation=256, key_domain=(64, 512),
     its own domain — a small domain makes the edge unselective (pair
     selectivity ``~1/domain``), so drawn domains give the heterogeneous
     selectivities that make the joint tree search a real decision.
+
+    ``skew`` (default ``None`` — uniform keys, bit-identical to older
+    releases for a fixed seed) draws each key column from a power law
+    instead: key ``v`` has probability proportional to
+    ``1 / (v + 1) ** skew``.  Skewed keys concentrate matches on a few
+    heavy values, the regime where tree+filter plans materialize large
+    intermediates and the worst-case-optimal strategy pays off.
     """
     if rows_per_relation < 1:
         raise ValueError(
             f"rows_per_relation must be >= 1, got {rows_per_relation}"
         )
+    if skew is not None and skew <= 0:
+        raise ValueError(f"skew must be positive (or None), got {skew}")
+
+    def draw_keys(rng, domain):
+        if skew is None:
+            return rng.integers(0, domain, rows_per_relation)
+        weights = 1.0 / np.arange(1, domain + 1, dtype=np.float64) ** skew
+        return rng.choice(domain, size=rows_per_relation,
+                          p=weights / weights.sum())
+
     rng = np.random.default_rng(seed)
     columns = {alias: {} for alias in parsed.relations}
     for rel_a, attr_a, rel_b, attr_b in parsed.join_predicates:
@@ -149,9 +166,7 @@ def cyclic_catalog(parsed, rows_per_relation=256, key_domain=(64, 512),
             domain = int(rng.integers(low, high + 1))
         for alias, attr in ((rel_a, attr_a), (rel_b, attr_b)):
             if attr not in columns[alias]:
-                columns[alias][attr] = rng.integers(
-                    0, domain, rows_per_relation
-                )
+                columns[alias][attr] = draw_keys(rng, domain)
     catalog = Catalog()
     for alias, table_name in parsed.relations.items():
         if not columns[alias]:  # isolated relation: payload column

@@ -276,7 +276,10 @@ def test_residual_filter_cost_is_progressive():
 @pytest.mark.parametrize("collect_output", [False, True])
 def test_residual_counters_match_across_pipelines(triangle_catalog,
                                                   collect_output):
-    """Factorized and flat paths account the residual stage identically."""
+    """Both pipelines count every residual comparison; the factorized
+    path pushes root-to-leaf residuals into the entries before
+    expansion, so its residual *input* (tuples still needing expanded
+    filtering) can only shrink relative to the flat pipeline."""
     parsed = parse_query(TRIANGLE)
     plan = spanning_tree_decomposition(parsed, driver="A")
     size_com, com, _ = execute_cyclic(
@@ -288,9 +291,14 @@ def test_residual_counters_match_across_pipelines(triangle_catalog,
         collect_output=collect_output,
     )
     assert size_com == size_std
-    assert com.counters.residual_input_tuples == \
-        std.counters.residual_input_tuples > 0
-    assert com.counters.residual_checks == std.counters.residual_checks > 0
+    assert std.counters.residual_input_tuples > 0
+    assert 0 < com.counters.residual_input_tuples <= \
+        std.counters.residual_input_tuples
+    assert com.counters.residual_checks > 0
+    assert std.counters.residual_checks > 0
+    # the pushdown also shrinks the factorized path's expansion peak
+    assert com.counters.peak_intermediate_tuples <= \
+        std.counters.peak_intermediate_tuples
 
 
 def test_counting_matches_collecting(triangle_catalog):

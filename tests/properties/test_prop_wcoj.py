@@ -1,0 +1,263 @@
+"""Property tests: the wcoj strategy is a bit-exact peer of tree+filter.
+
+The worst-case-optimal operator and the tree+filter pipelines are two
+evaluations of the same predicate multiset, so their *results* must be
+identical on every input — across shard counts, kernel paths, and the
+cyclic shape generators.  Within each strategy, counters must be
+bit-identical across shards and kernels (the cost model is calibrated
+on them); across strategies the counters legitimately differ — the two
+algorithms do different work — and what is pinned instead is the
+bookkeeping that proves no predicate is ever applied twice:
+``residual_input_tuples`` stays zero under wcoj (residuals are joined
+inside elimination, never re-filtered on the output) and the planlint
+predicate-accounting pass stays clean for both strategies.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.planlint import verify_plan
+from repro.core import parse_query, spanning_tree_decomposition
+from repro.core.cyclic import (
+    execute_cyclic,
+    tree_query_from_residuals,
+)
+from repro.engine.wcoj import execute_wcoj
+from repro.modes import ExecutionMode
+from repro.planner import Planner
+from repro.storage import Catalog
+from repro.storage.partition import partitioned_catalog
+from repro.workloads.cyclic import CYCLIC_SHAPES, cyclic_catalog, to_sql
+
+from .test_prop_cyclic import TRIANGLE, brute_force, build_triangle_catalog
+from .test_prop_execution import SHARD_COUNTS, assert_counters_identical
+
+STRATEGIES = ("tree_filter", "wcoj")
+KERNELS = ("vectorized", "interpreted")
+
+# the smallest instance of each shape with at least one residual
+SHAPE_SIZES = (("cycle", 4), ("clique", 4), ("grid", 4))
+
+
+def _row_tuples(rows, relations):
+    return sorted(zip(*(rows[rel].tolist() for rel in relations)))
+
+
+def _strategy_outputs(catalog, plan, mode, execution="vectorized"):
+    """``(size, result, sorted row tuples)`` per strategy, same plan."""
+    relations = sorted(plan.query.relations)
+    out = {}
+    size, result, rows = execute_cyclic(
+        catalog, plan, mode=mode, collect_output=True, execution=execution
+    )
+    out["tree_filter"] = (size, result, _row_tuples(rows, relations))
+    size, result, rows = execute_wcoj(
+        catalog, plan, mode=mode, collect_output=True, execution=execution
+    )
+    out["wcoj"] = (size, result, _row_tuples(rows, relations))
+    return out
+
+
+@given(
+    seed=st.integers(0, 5_000),
+    mode=st.sampled_from([ExecutionMode.COM, ExecutionMode.STD]),
+)
+@settings(max_examples=25, deadline=None)
+def test_wcoj_matches_brute_force_and_tree_filter(seed, mode):
+    catalog = build_triangle_catalog(seed)
+    plan = spanning_tree_decomposition(parse_query(TRIANGLE), driver="A")
+    expected = brute_force(catalog)
+    outputs = _strategy_outputs(catalog, plan, mode)
+    for strategy in STRATEGIES:
+        size, _, tuples = outputs[strategy]
+        assert size == len(expected), strategy
+        assert tuples == expected, strategy
+
+
+@given(
+    case=st.sampled_from(SHAPE_SIZES),
+    data_seed=st.integers(0, 2_000),
+)
+@settings(max_examples=15, deadline=None)
+def test_strategies_agree_across_shapes(case, data_seed):
+    shape, n = case
+    parsed = CYCLIC_SHAPES[shape](n)
+    catalog = cyclic_catalog(parsed, rows_per_relation=20,
+                             key_domain=(2, 5), seed=data_seed)
+    plan = spanning_tree_decomposition(parsed, driver="R0")
+    outputs = _strategy_outputs(catalog, plan, ExecutionMode.COM)
+    assert outputs["wcoj"][2] == outputs["tree_filter"][2], (shape, n)
+    # no residual is ever re-filtered after elimination under wcoj
+    assert outputs["wcoj"][1].counters.residual_input_tuples == 0
+    assert outputs["tree_filter"][1].counters.residual_input_tuples > 0
+
+
+@given(seed=st.integers(0, 2_000))
+@settings(max_examples=8, deadline=None)
+def test_counters_identical_across_shards_and_kernels(seed):
+    """Within each strategy: shard count and kernel path are invisible.
+
+    Results *and every counter field* must agree bit for bit across
+    shard counts {1, 2, 8} and both kernel paths — the wcoj chain
+    indexes are built in base-row order precisely so the physical
+    layout cannot leak into the counters.
+    """
+    catalog = build_triangle_catalog(seed, max_rows=10)
+    parsed = parse_query(TRIANGLE)
+    plan = spanning_tree_decomposition(parsed, driver="A")
+    for strategy in STRATEGIES:
+        baseline = None
+        for num_shards in SHARD_COUNTS:
+            sharded = catalog if num_shards == 1 else \
+                partitioned_catalog(catalog, plan.query, num_shards)
+            for execution in KERNELS:
+                outputs = _strategy_outputs(
+                    sharded, plan, ExecutionMode.COM, execution=execution
+                )
+                size, result, tuples = outputs[strategy]
+                context = (strategy, num_shards, execution)
+                if baseline is None:
+                    baseline = (size, result.counters, tuples)
+                    continue
+                assert size == baseline[0], context
+                assert tuples == baseline[2], context
+                assert_counters_identical(baseline[1], result.counters,
+                                          context)
+
+
+# ----------------------------------------------------------------------
+# Exact-key edge cases on the residual attribute
+# ----------------------------------------------------------------------
+# The residual of the A-rooted triangle tree is C.z = A.z; each side's
+# column is pushed through an independent cast so int/float 2**53
+# collisions, NaN holes, and bool/int mixes all land on the residual
+# (and, by rerooting, on tree edges — the directional probe path).
+
+_CASTS = {
+    "small_int": lambda a: a.astype(np.int64),
+    "big_int": lambda a: a.astype(np.int64) + 2**53,
+    "big_int_odd": lambda a: a.astype(np.int64) + 2**53 + (a % 2),
+    "big_float": lambda a: a.astype(np.float64) + 2**53,
+    "nan_float": lambda a: np.where(a == 0, np.nan, a.astype(np.float64)),
+    "bool": lambda a: a.astype(bool),
+}
+
+
+@given(
+    seed=st.integers(0, 2_000),
+    cast_a=st.sampled_from(sorted(_CASTS)),
+    cast_c=st.sampled_from(sorted(_CASTS)),
+    driver=st.sampled_from(["A", "B", "C"]),
+)
+@settings(max_examples=40, deadline=None)
+def test_exact_key_edge_cases_agree(seed, cast_a, cast_c, driver):
+    rng = np.random.default_rng(seed)
+    sizes = rng.integers(1, 10, 3)
+    raw_a = rng.integers(0, 3, sizes[0])
+    raw_c = rng.integers(0, 3, sizes[2])
+    catalog = Catalog()
+    catalog.add_table("A", {"x": rng.integers(0, 3, sizes[0]),
+                            "z": _CASTS[cast_a](raw_a)})
+    catalog.add_table("B", {"x": rng.integers(0, 3, sizes[1]),
+                            "y": rng.integers(0, 3, sizes[1])})
+    catalog.add_table("C", {"y": rng.integers(0, 3, sizes[2]),
+                            "z": _CASTS[cast_c](raw_c)})
+    plan = spanning_tree_decomposition(parse_query(TRIANGLE),
+                                       driver=driver)
+    for execution in KERNELS:
+        outputs = _strategy_outputs(catalog, plan, ExecutionMode.COM,
+                                    execution=execution)
+        context = (cast_a, cast_c, driver, execution)
+        assert outputs["wcoj"][2] == outputs["tree_filter"][2], context
+
+
+# ----------------------------------------------------------------------
+# Planner-level: strategy arbitration, lint, and the round-trip law
+# ----------------------------------------------------------------------
+
+
+@given(
+    case=st.sampled_from(SHAPE_SIZES),
+    data_seed=st.integers(0, 1_000),
+)
+@settings(max_examples=10, deadline=None)
+def test_planner_strategies_agree_and_lint_clean(case, data_seed):
+    """End-to-end: both forced strategies return identical results,
+    both plans pass the full verifier (predicate accounting proves no
+    predicate is dropped or double-applied), and ``"auto"`` resolves to
+    the cheaper of the two predicted costs."""
+    shape, n = case
+    parsed = CYCLIC_SHAPES[shape](n)
+    catalog = cyclic_catalog(parsed, rows_per_relation=16,
+                             key_domain=(2, 5), seed=data_seed)
+    sql = to_sql(parsed)
+    relations = sorted(parsed.relations)
+    plans, tuples = {}, {}
+    for strategy in STRATEGIES:
+        plan = Planner(catalog, cyclic_execution=strategy).plan(
+            sql, stats="exact"
+        )
+        assert plan.cyclic_strategy == strategy
+        report = verify_plan(plan, source=sql, level="full")
+        assert not report.diagnostics, (strategy, report.diagnostics)
+        result = plan.execute(collect_output=True)
+        plans[strategy] = plan
+        tuples[strategy] = _row_tuples(result.output_rows, relations)
+    assert tuples["wcoj"] == tuples["tree_filter"]
+    auto = Planner(catalog, cyclic_execution="auto").plan(
+        sql, stats="exact"
+    )
+    cheaper = min(STRATEGIES,
+                  key=lambda s: plans[s].predicted_cost)
+    assert auto.cyclic_strategy == cheaper
+    assert auto.predicted_cost == plans[cheaper].predicted_cost
+
+
+@given(
+    case=st.sampled_from(SHAPE_SIZES),
+    data_seed=st.integers(0, 1_000),
+)
+@settings(max_examples=10, deadline=None)
+def test_residual_round_trip_never_double_applies(case, data_seed):
+    """The decompose / tree_query_from_residuals round-trip law.
+
+    A plan's tree edges and residuals partition the parsed predicate
+    multiset, so rebuilding the tree from the residuals reproduces the
+    plan's query exactly — same root, same edge multiset — and the
+    edge-XOR-residual invariant holds under both strategies (a wcoj
+    plan keeps the same split; it only *evaluates* the two halves in
+    one pass instead of two).
+    """
+    shape, n = case
+    parsed = CYCLIC_SHAPES[shape](n)
+    catalog = cyclic_catalog(parsed, rows_per_relation=12,
+                             key_domain=(2, 4), seed=data_seed)
+    sql = to_sql(parsed)
+    for strategy in STRATEGIES:
+        plan = Planner(catalog, cyclic_execution=strategy).plan(
+            sql, stats="exact"
+        )
+        rebuilt = tree_query_from_residuals(
+            parsed, plan.residuals, plan.query.root
+        )
+        assert rebuilt.root == plan.query.root, strategy
+
+        def edge_key(edge):
+            return (edge.parent, edge.parent_attr, edge.child,
+                    edge.child_attr)
+
+        assert sorted(map(edge_key, rebuilt.edges)) == \
+            sorted(map(edge_key, plan.query.edges)), strategy
+        # edge XOR residual: tree edges + residuals == parsed multiset
+        def undirected(rel_a, attr_a, rel_b, attr_b):
+            return min((rel_a, attr_a, rel_b, attr_b),
+                       (rel_b, attr_b, rel_a, attr_a))
+        covered = sorted(
+            [undirected(e.parent, e.parent_attr, e.child, e.child_attr)
+             for e in plan.query.edges]
+            + [undirected(r.relation_a, r.attr_a, r.relation_b, r.attr_b)
+               for r in plan.residuals]
+        )
+        want = sorted(undirected(*p) for p in parsed.join_predicates)
+        assert covered == want, strategy
