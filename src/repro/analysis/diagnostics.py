@@ -114,6 +114,14 @@ DIAGNOSTIC_CODES: dict[str, str] = {
                "unjoined, or the order names an unknown member)",
     "WCOJ003": "wcoj strategy on a plan without residuals, or with an "
                "empty variable order (nothing to eliminate)",
+    # --- pessimistic bounds / robustness ---------------------------------
+    "BOUND001": "invalid robustness posture on the plan or spec "
+                "(unknown value)",
+    "BOUND002": "bound-annotation completeness violated: a robust plan "
+                "must carry one prefix bound per join step, an off-mode "
+                "plan must carry none",
+    "BOUND003": "malformed bound annotation: a prefix cardinality bound "
+                "or the worst-case bound is negative or non-finite",
 }
 
 

@@ -34,6 +34,7 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional, Tuple
 
 import numpy as np
 
+from ..core.bounds import ROBUSTNESS_CHOICES
 from ..core.cyclic import ResidualPredicate, tree_query_from_residuals
 from ..core.lru import LRUCache
 from ..core.parser import Contradiction, ParsedQuery, Placeholder, parse_query
@@ -87,23 +88,24 @@ _RESOLVED_CYCLIC_STRATEGIES: Tuple[str, ...] = ("tree_filter", "wcoj")
 PLAN_FINGERPRINT_COVERED: frozenset = frozenset({
     "query", "order", "mode", "child_orders", "residuals",
     "num_shards", "execution", "catalog",
-    "cyclic_strategy", "wcoj_variable_order",
+    "cyclic_strategy", "wcoj_variable_order", "robustness",
 })
 #: PhysicalPlan fields that are derived metadata: fully determined by
 #: the covered fields plus the cost model, or purely observational
 PLAN_FINGERPRINT_EXEMPT: frozenset = frozenset({
     "stats", "predicted_cost", "weights", "residual_selectivities",
-    "diagnostics",
+    "diagnostics", "prefix_bounds", "worst_case_bound",
 })
 
 #: PlanSpec fields a rehydrated plan's fingerprint covers
 SPEC_FINGERPRINT_COVERED: frozenset = frozenset({
     "root", "order", "mode", "child_orders", "residuals",
     "num_shards", "execution", "catalog_fingerprint",
-    "cyclic_strategy", "wcoj_variable_order",
+    "cyclic_strategy", "wcoj_variable_order", "robustness",
 })
 SPEC_FINGERPRINT_EXEMPT: frozenset = frozenset({
     "stats", "predicted_cost", "weights", "residual_selectivities",
+    "prefix_bounds", "worst_case_bound",
 })
 
 #: Planner knobs (``__init__`` + ``plan()`` parameters) that are part
@@ -128,6 +130,10 @@ CACHE_KEYED_KNOBS: dict[str, str] = {
     "execution": "execution",
     # keyed raw, not resolved: "auto" resolves per query by cost
     "cyclic_execution": "cyclic_execution",
+    # keyed raw: postures annotate (and may reorder) plans differently
+    "robustness": "robustness",
+    # rides along with robustness: decides whether the regret gate swaps
+    "regret_factor": "regret_factor",
 }
 #: Planner parameters that legitimately stay out of the cache key:
 #: the query and catalog are keyed separately (normalized query key +
@@ -431,6 +437,65 @@ def _pass_wcoj(plan: "PhysicalPlan", source: Optional[ParsedQuery],
         )
 
 
+def _bound_annotation_checks(robustness: Any, prefix_bounds: Any,
+                             worst_case_bound: Any, order_length: int,
+                             emitter: _Emitter, subject: str) -> None:
+    """BOUND001-003 over either a plan's or a spec's bound annotations."""
+    if robustness not in ROBUSTNESS_CHOICES:
+        emitter.error(
+            "BOUND001",
+            f"{subject} carries invalid robustness posture "
+            f"{robustness!r} (expected one of {ROBUSTNESS_CHOICES})",
+        )
+        return
+    if robustness == "off":
+        if prefix_bounds or worst_case_bound:
+            emitter.error(
+                "BOUND002",
+                f"off-mode {subject} carries bound annotations "
+                f"(stale robustness resolution)",
+            )
+        return
+    if len(prefix_bounds) != order_length:
+        emitter.error(
+            "BOUND002",
+            f"robust {subject} carries {len(prefix_bounds)} prefix "
+            f"bounds for {order_length} join steps (one guaranteed "
+            f"cardinality bound per step is required)",
+        )
+    for position, bound in enumerate(prefix_bounds, start=1):
+        if not np.isfinite(bound) or bound < 0:
+            emitter.error(
+                "BOUND003",
+                f"prefix bound {bound!r} at join {position} is not a "
+                f"finite non-negative cardinality",
+            )
+    if not np.isfinite(worst_case_bound) or worst_case_bound < 0:
+        emitter.error(
+            "BOUND003",
+            f"worst-case bound {worst_case_bound!r} is not a finite "
+            f"non-negative cost",
+        )
+
+
+def _pass_bounds(plan: "PhysicalPlan", source: Optional[ParsedQuery],
+                 emitter: _Emitter, level: str) -> None:
+    """BOUND001-003: robustness posture and bound-annotation hygiene.
+
+    A plan produced under ``robustness != "off"`` promises one
+    guaranteed cardinality upper bound per join step (what the regret
+    gate reasoned about and what ``explain()`` prints); an off-mode
+    plan promises it carries none (annotations there would be stale —
+    nothing maintained them).  Bounds are products of max-frequencies,
+    so a negative or non-finite value can only mean corrupted
+    derivation.
+    """
+    _bound_annotation_checks(
+        plan.robustness, plan.prefix_bounds, plan.worst_case_bound,
+        len(plan.order), emitter, "plan",
+    )
+
+
 def _pass_schema(plan: "PhysicalPlan", source: Optional[ParsedQuery],
                  emitter: _Emitter, level: str) -> None:
     """Column existence and key-dtype consistency of every predicate.
@@ -730,6 +795,9 @@ def _pass_fingerprint_sensitivity(plan: "PhysicalPlan",
         yield "wcoj_variable_order", tuple(plan.wcoj_variable_order) + (
             (("__planlint__", "a"),),
         )
+        yield "robustness", (
+            "bounded" if plan.robustness != "bounded" else "off"
+        )
         yield "catalog", _FingerprintProbe()
 
     for field_name, value in _perturbations():
@@ -752,6 +820,7 @@ PLAN_PASSES: Tuple[Tuple[str, Callable, str], ...] = (
     ("structure", _pass_structure, "basic"),
     ("predicates", _pass_predicates, "basic"),
     ("wcoj", _pass_wcoj, "basic"),
+    ("bounds", _pass_bounds, "basic"),
     ("schema", _pass_schema, "basic"),
     ("shards", _pass_shards, "basic"),
     ("fingerprint-registry", _pass_fingerprint_registry, "basic"),
@@ -862,6 +931,12 @@ def verify_spec(spec: "PlanSpec",
             "WCOJ003",
             "wcoj spec carries an empty variable order",
         )
+    _bound_annotation_checks(
+        getattr(spec, "robustness", "off"),
+        tuple(getattr(spec, "prefix_bounds", ())),
+        getattr(spec, "worst_case_bound", 0.0),
+        len(spec.order), emitter, "spec",
+    )
     if not isinstance(spec.num_shards, int) \
             or isinstance(spec.num_shards, bool) or spec.num_shards < 1:
         emitter.error(

@@ -1,0 +1,146 @@
+"""Guaranteed cardinality upper bounds for pessimistic planning.
+
+The cost model's estimates (:mod:`repro.core.stats`) are *averages* —
+a single correlated or skewed join can make the true cardinality blow
+past them by orders of magnitude, and the optimizer happily builds a
+plan around the error.  This module derives the UES-style answer
+(PostBOUND / Hertzschuch et al.): a **guaranteed** per-prefix tuple
+bound from per-attribute *max-frequency* statistics.
+
+The bound
+---------
+
+For a rooted join tree, let ``mf(R)`` be the largest number of rows of
+relation ``R`` sharing one value of its join attribute
+(:attr:`repro.storage.HashIndex.max_group_size`).  Each tuple of the
+running prefix frame probes ``R`` with a single key, so it can match at
+most ``mf(R)`` rows — no matter how skewed or correlated the data is::
+
+    |frame after joining R|  <=  |frame before|  *  mf(R)
+
+Chaining from the driver gives, for a join order ``o_1 .. o_k``::
+
+    bound(prefix k)  =  N_driver * mf(o_1) * ... * mf(o_k)
+
+This holds for *every* execution mode: STD materializes exactly the
+frame; COM's factorized nodes, bitvector pruning and semi-join
+reduction only ever shrink it.
+
+The pessimistic objective
+-------------------------
+
+Crucially the bound is *set-determined* — it depends only on which
+relations joined, not their order — and since ``mf >= 1`` for any
+non-empty relation the per-prefix bounds are nondecreasing, so the
+**maximum** prefix bound equals the order-independent full product and
+cannot discriminate join orders.  What does discriminate is the
+worst-case *work*: the sum over join steps of the probes each step may
+have to issue, i.e. the STD probe objective evaluated under "bound
+statistics" (``m = 1``, ``fo = mf``).  Those deltas are exactly the
+set-determined increments the exhaustive / IDP / beam dynamic programs
+of :mod:`repro.core.optimizer` minimize, so handing them
+:func:`bound_stats_for_rooting` output with ``ExecutionMode.STD`` makes
+the existing machinery find the **bound-optimal** (minimal worst-case
+cost) join order with no new search code.
+
+Derivation is O(edges) — one cached ``max_group_size`` read per
+endpoint — and cached through :class:`repro.core.stats.StatsCache`
+under the rooting-independent :func:`undirected_signature`, exactly
+like :func:`directed_stats_from_data`, so every candidate rooting of a
+``driver="auto"`` search shares one derivation.
+"""
+
+from __future__ import annotations
+
+from .stats import EdgeStats, QueryStats, undirected_signature
+
+__all__ = [
+    "ROBUSTNESS_CHOICES",
+    "bound_signature",
+    "bound_stats_for_rooting",
+    "max_frequencies_from_data",
+    "prefix_cardinality_bounds",
+    "resolve_robustness",
+]
+
+#: Valid values of the ``robustness`` Planner / QuerySession knob:
+#: ``"off"`` trusts estimates unconditionally (the historical
+#: behavior), ``"bounded"`` adds pessimistic bound annotations and the
+#: bounded-regret order gate, ``"auto"`` additionally arms the
+#: runtime cardinality-feedback replanning loop.
+ROBUSTNESS_CHOICES = ("off", "bounded", "auto")
+
+
+def resolve_robustness(robustness):
+    """Validate a ``robustness`` knob value (returns it unchanged)."""
+    if robustness not in ROBUSTNESS_CHOICES:
+        raise ValueError(
+            f"robustness must be one of {ROBUSTNESS_CHOICES}, "
+            f"got {robustness!r}"
+        )
+    return robustness
+
+
+def max_frequencies_from_data(catalog, query):
+    """Measure ``(max_freqs, sizes)`` for every edge endpoint at once.
+
+    ``max_freqs`` maps ``(relation, attribute) -> max_group_size`` for
+    both endpoints of every join edge, ``sizes`` maps relation name to
+    cardinality.  Both are direction-free, so one measurement covers
+    every rooting of the join graph (cache under
+    :func:`repro.core.stats.undirected_signature`).  Indexes are built
+    through :meth:`Catalog.hash_index` and therefore shared with
+    statistics derivation and execution.
+    """
+    max_freqs = {}
+    for edge in query.edges:
+        for relation, attribute in (
+            (edge.parent, edge.parent_attr),
+            (edge.child, edge.child_attr),
+        ):
+            if (relation, attribute) not in max_freqs:
+                index = catalog.hash_index(relation, attribute)
+                max_freqs[(relation, attribute)] = int(index.max_group_size)
+    sizes = {rel: len(catalog.table(rel)) for rel in query.relations}
+    return max_freqs, sizes
+
+
+def bound_signature(query):
+    """Cache signature for one join graph's max-frequency statistics."""
+    return ("max-frequency",) + undirected_signature(query)
+
+
+def bound_stats_for_rooting(rooted, max_freqs, sizes):
+    """Assemble a rooting's *bound statistics* (pure dictionary work).
+
+    A :class:`~repro.core.stats.QueryStats` whose per-edge selectivity
+    is the guaranteed worst case: ``m = 1`` (every probe may match),
+    ``fo = mf`` (each match may fan out to the heaviest key group).
+    Prefix products of these stats under the STD cost model are the
+    guaranteed cardinality upper bounds described in the module
+    docstring.
+    """
+    edge_stats = {}
+    for edge in rooted.edges:
+        mf = max_freqs[(edge.child, edge.child_attr)]
+        edge_stats[edge.child] = EdgeStats(m=1.0 if mf else 0.0,
+                                           fo=float(mf))
+    return QueryStats(
+        float(sizes[rooted.root]), edge_stats, relation_sizes=dict(sizes)
+    )
+
+
+def prefix_cardinality_bounds(bound_stats, order):
+    """Guaranteed tuple-count upper bound after each join of ``order``.
+
+    ``bounds[k]`` bounds the intermediate-result cardinality once the
+    first ``k + 1`` joins have run, for every execution mode (COM
+    frames and semi-join-reduced pipelines are never larger than the
+    STD frame the bound tracks).
+    """
+    bounds = []
+    size = bound_stats.driver_size
+    for relation in order:
+        size *= bound_stats.selectivity(relation)
+        bounds.append(size)
+    return tuple(bounds)

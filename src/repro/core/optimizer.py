@@ -59,6 +59,7 @@ __all__ = [
     "beam_order",
     "choose_optimizer",
     "incremental_order_cost",
+    "worst_case_cost",
     "greedy_order",
     "GREEDY_HEURISTICS",
     "optimize_sj",
@@ -371,6 +372,26 @@ def incremental_order_cost(query, stats, order, mode=ExecutionMode.COM,
                              weights, memo)
         joined.add(relation)
     return total
+
+
+def worst_case_cost(query, bound_stats, order, eps=0.01,
+                    weights=CostWeights(), memo=None):
+    """Pessimistic (UES-style) objective: worst-case probe work.
+
+    ``bound_stats`` must come from
+    :func:`repro.core.bounds.bound_stats_for_rooting` — per-edge
+    ``m = 1, fo = max_frequency`` — which makes each STD prefix product
+    a *guaranteed* cardinality upper bound, and this sum of per-join
+    delta costs the guaranteed worst-case work of running ``order``.
+    The deltas are set-determined, so :func:`exhaustive_optimal`,
+    :func:`idp_order` and :func:`beam_order` minimize exactly this
+    objective when handed bound stats with ``ExecutionMode.STD`` — the
+    pessimistic second objective needs no new search code.
+    """
+    return incremental_order_cost(
+        query, bound_stats, order, mode=ExecutionMode.STD, eps=eps,
+        weights=weights, memo=memo,
+    )
 
 
 def _greedy_block(query, stats, order, block_size, mode, eps, weights, memo):

@@ -22,6 +22,7 @@ __all__ = [
     "QueryStats",
     "StatsCache",
     "directed_stats_from_data",
+    "edge_with_selectivity",
     "query_signature",
     "stats_for_rooting",
     "stats_from_data",
@@ -138,6 +139,22 @@ class QueryStats:
             f"QueryStats(N={self.driver_size:g}, "
             f"edges={{{', '.join(sorted(self.edge_stats))}}})"
         )
+
+
+def edge_with_selectivity(edge, observed):
+    """``EdgeStats`` corrected to an observed selectivity ``s``.
+
+    The runtime-feedback loop measures only the *combined* selectivity
+    (matches per probe); this keeps the estimated fanout when the
+    observation is compatible with it (``m = s / fo`` stays a valid
+    probability) and otherwise attributes everything to fanout
+    (``m = 1, fo = s``) — either way ``m * fo`` equals the observation,
+    which is what the cost model consumes.
+    """
+    observed = max(float(observed), 0.0)
+    if edge.fo > 0.0 and observed <= edge.fo:
+        return EdgeStats(m=observed / edge.fo, fo=edge.fo)
+    return EdgeStats(m=1.0, fo=observed)
 
 
 def query_signature(query):

@@ -17,6 +17,7 @@ from .executor import (
     execute,
 )
 from .factorized import FactorizedNode, FactorizedResult
+from .feedback import CardinalityMonitor, ReplanSignal, corrected_stats
 from .kernels import (
     EXECUTION_CHOICES,
     InterpretedKernels,
@@ -29,6 +30,7 @@ from .semijoin import ReductionResult, full_reduction
 __all__ = [
     "BitvectorFilter",
     "BudgetExceededError",
+    "CardinalityMonitor",
     "EXECUTION_CHOICES",
     "ExecutionCounters",
     "ExecutionResult",
@@ -36,7 +38,9 @@ __all__ = [
     "FactorizedResult",
     "InterpretedKernels",
     "ReductionResult",
+    "ReplanSignal",
     "VectorizedKernels",
+    "corrected_stats",
     "default_num_bits",
     "execute",
     "full_reduction",

@@ -188,7 +188,7 @@ def _build_indexes(query, catalog, reduction=None):
 
 
 def _run_factorized(query, catalog, order, indexes, bitvectors, checks_after,
-                    counters, budget, driver_rows, kernels):
+                    counters, budget, driver_rows, kernels, monitor=None):
     result = FactorizedResult(query, driver_rows)
 
     def apply_check(relation_checked):
@@ -221,6 +221,10 @@ def _run_factorized(query, catalog, order, indexes, bitvectors, checks_after,
         if not matched.all():
             parent_node.alive[alive_idx[~matched]] = False
         total_matches = int(lookup.counts.sum())
+        if monitor is not None:
+            # before the budget check: a blown-up join should trigger a
+            # replan (which may avoid the explosion) before a hard abort
+            monitor.observe(relation, len(keys), total_matches)
         if total_matches > budget:
             raise BudgetExceededError("COM", relation, total_matches, budget)
         matches = lookup.matching_rows()
@@ -254,6 +258,7 @@ def execute(
     expansion_batch=8192,
     max_intermediate_tuples=50_000_000,
     execution="auto",
+    monitor=None,
 ):
     """Execute ``query`` in the given join ``order`` under ``mode``.
 
@@ -283,6 +288,11 @@ def execute(
         ``"auto"`` (the :data:`~repro.engine.kernels.REPRO_EXECUTION`
         environment override, else vectorized).  Both paths produce
         bit-identical results and :class:`ExecutionCounters`.
+    monitor:
+        Optional :class:`~repro.engine.feedback.CardinalityMonitor`;
+        each join step reports its probe/match counters to it (an O(1)
+        check), and the monitor may abort the run by raising
+        :class:`~repro.engine.feedback.ReplanSignal`.
     """
     mode = ExecutionMode(mode)
     execution = resolve_execution(execution)
@@ -325,6 +335,7 @@ def execute(
         factorized = _run_factorized(
             query, catalog, order, indexes, bitvectors, checks_after,
             counters, max_intermediate_tuples, driver_rows, kernels,
+            monitor=monitor,
         )
         output_size = factorized.count_rows()
         _remap_factorized_rows(factorized, catalog, kernels)
@@ -360,6 +371,7 @@ def execute(
         frame = _run_flat_driver(
             query, catalog, order, indexes, bitvectors, checks_after,
             counters, max_intermediate_tuples, driver_rows, kernels,
+            monitor=monitor,
         )
         output_size = len(next(iter(frame.values()))) if frame else 0
         if collect_output:
@@ -389,7 +401,7 @@ def execute(
 
 
 def _run_flat_driver(query, catalog, order, indexes, bitvectors, checks_after,
-                     counters, budget, driver_rows, kernels):
+                     counters, budget, driver_rows, kernels, monitor=None):
     """STD pipeline starting from an explicit driver row set."""
     frame = {query.root: np.asarray(driver_rows, dtype=np.int64)}
 
@@ -413,6 +425,10 @@ def _run_flat_driver(query, catalog, order, indexes, bitvectors, checks_after,
         counters.count_hash_probes(relation, len(keys))
         lookup = kernels.lookup(indexes[relation], keys)
         total_matches = int(lookup.counts.sum())
+        if monitor is not None:
+            # before the budget check: a blown-up join should trigger a
+            # replan (which may avoid the explosion) before a hard abort
+            monitor.observe(relation, len(keys), total_matches)
         if total_matches > budget:
             raise BudgetExceededError("STD", relation, total_matches, budget)
         matches = lookup.matching_rows()

@@ -5,7 +5,7 @@ from .naive import (
     naive_estimate_from_tables,
     predicate_selectivity,
 )
-from .qerror import mean_q_error, q_error
+from .qerror import mean_q_error, q_error, running_q_error
 from .sampling import CorrelatedSample, true_join_stats
 
 __all__ = [
@@ -15,5 +15,6 @@ __all__ = [
     "naive_estimate_from_tables",
     "predicate_selectivity",
     "q_error",
+    "running_q_error",
     "true_join_stats",
 ]

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["q_error", "mean_q_error"]
+__all__ = ["q_error", "mean_q_error", "running_q_error"]
 
 #: floor applied to both estimate and truth, avoiding division blow-ups
 _FLOOR = 1e-9
@@ -29,16 +29,31 @@ def q_error(estimate, truth, floor=_FLOOR):
 
 
 def mean_q_error(estimates, truths, floor=_FLOOR):
-    """Average q-error over paired arrays (returns mean and std)."""
+    """Average q-error over paired arrays (returns mean and std).
+
+    Vectorized: both arrays are floored elementwise and the symmetric
+    ratio is taken with :func:`numpy.maximum`, matching :func:`q_error`
+    pair for pair.
+    """
     estimates = np.asarray(estimates, dtype=np.float64)
     truths = np.asarray(truths, dtype=np.float64)
     if estimates.shape != truths.shape:
         raise ValueError(
             f"shape mismatch: {estimates.shape} vs {truths.shape}"
         )
-    errors = np.array(
-        [q_error(e, t, floor) for e, t in zip(estimates, truths)]
-    )
-    if len(errors) == 0:
+    if estimates.size == 0:
         return 0.0, 0.0
+    est = np.maximum(estimates, floor)
+    tru = np.maximum(truths, floor)
+    errors = np.maximum(est / tru, tru / est)
     return float(errors.mean()), float(errors.std())
+
+
+def running_q_error(previous, estimate, truth, floor=_FLOOR):
+    """Running maximum q-error, one O(1) scalar update per observation.
+
+    The executor's cardinality-feedback loop calls this once per join
+    step with the estimated and observed edge selectivities; no arrays
+    are materialized.  Seed with ``1.0`` (an empty prefix is exact).
+    """
+    return max(float(previous), q_error(estimate, truth, floor))

@@ -20,7 +20,7 @@ from __future__ import annotations
 import hashlib
 import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -55,6 +55,13 @@ from .core.cyclic import (
 )
 from .analysis import VALIDATE_CHOICES, PlanVerifier
 from .core.lru import LRUCache
+from .core.bounds import (
+    bound_signature,
+    bound_stats_for_rooting,
+    max_frequencies_from_data,
+    prefix_cardinality_bounds,
+    resolve_robustness,
+)
 from .core.optimizer import (
     PlanningBudgetExceeded,
     beam_order,
@@ -63,6 +70,7 @@ from .core.optimizer import (
     greedy_order,
     idp_order,
     optimize_sj,
+    worst_case_cost,
 )
 from .core.parser import Contradiction, ParsedQuery, parse_query
 from .core.query import JoinQuery
@@ -193,13 +201,26 @@ class PhysicalPlan:
     #: static-verifier findings (``validate="basic"|"full"``), in
     #: emission order — observational metadata, never fingerprinted
     diagnostics: tuple = ()
+    #: resolved ``robustness`` knob the plan was produced under ("off" /
+    #: "bounded" / "auto") — part of the fingerprint (and, via the
+    #: session, the plan-cache key)
+    robustness: str = "off"
+    #: guaranteed cardinality upper bound after each join of
+    #: :attr:`order` (:func:`repro.core.bounds.prefix_cardinality_bounds`;
+    #: empty when ``robustness="off"``) — derived metadata, never
+    #: fingerprinted
+    prefix_bounds: tuple = ()
+    #: guaranteed worst-case probe work of running :attr:`order`
+    #: (:func:`repro.core.optimizer.worst_case_cost`; 0.0 when
+    #: ``robustness="off"``) — derived metadata, never fingerprinted
+    worst_case_bound: float = 0.0
 
     @property
     def is_cyclic(self):
         return bool(self.residuals)
 
     def execute(self, flat_output=True, collect_output=False,
-                max_intermediate_tuples=50_000_000):
+                max_intermediate_tuples=50_000_000, monitor=None):
         """Run the plan on the engine.
 
         Cyclic plans route by :attr:`cyclic_strategy`: ``tree_filter``
@@ -211,6 +232,12 @@ class PhysicalPlan:
         :attr:`wcoj_variable_order`).  Either way cyclic output is
         always flat — residual predicates break factorization, so
         ``flat_output`` is moot for them.
+
+        ``monitor`` (a
+        :class:`~repro.engine.feedback.CardinalityMonitor`) is
+        forwarded to the acyclic pipelines only — cyclic execution
+        interleaves residual filtering with the tree join, so its
+        per-join counters do not measure a single edge selectivity.
         """
         if self.residuals:
             if self.cyclic_strategy == "wcoj":
@@ -246,6 +273,7 @@ class PhysicalPlan:
             child_orders=self.child_orders or None,
             max_intermediate_tuples=max_intermediate_tuples,
             execution=self.execution,
+            monitor=monitor,
         )
 
     def fingerprint(self):
@@ -254,7 +282,8 @@ class PhysicalPlan:
         Covers everything the optimizer decided — driver, tree edges,
         join order, mode, semi-join child orders, residuals, shard
         fan-out, kernel path, cyclic strategy and its wcoj variable
-        order — plus the catalog content it was planned against, so
+        order, the resolved robustness knob — plus the catalog content
+        it was planned against, so
         two planning passes that resolved identically (e.g. a cache hit
         and the plan it was seeded from, or a worker-planned spec and
         its rehydration) fingerprint identically.
@@ -276,6 +305,7 @@ class PhysicalPlan:
             self.execution,
             self.cyclic_strategy,
             tuple(tuple(member) for member in self.wcoj_variable_order),
+            self.robustness,
             self.catalog.fingerprint(),
         ))
         return hashlib.blake2b(payload.encode(), digest_size=16).hexdigest()
@@ -298,12 +328,20 @@ class PhysicalPlan:
         for position, relation in enumerate(self.order, start=1):
             edge = self.query.edge_to(relation)
             stats = self.stats.stats(relation)
+            bound = ""
+            if position <= len(self.prefix_bounds):
+                bound = f" ub={self.prefix_bounds[position - 1]:,.0f}"
             lines.append(
                 f"  {position}. JOIN {relation} ON "
                 f"{edge.parent}.{edge.parent_attr} = "
                 f"{edge.child}.{edge.child_attr}  "
                 f"[m={stats.m:.3f} fo={stats.fo:.2f} "
-                f"est_probes={probes[relation]:,.0f}]"
+                f"est_probes={probes[relation]:,.0f}{bound}]"
+            )
+        if self.robustness != "off":
+            lines.append(
+                f"  ROBUSTNESS {self.robustness} "
+                f"worst_case_bound={self.worst_case_bound:,.0f}"
             )
         if self.child_orders:
             lines.append(f"  semi-join child orders: {self.child_orders}")
@@ -354,6 +392,9 @@ class PhysicalPlan:
             wcoj_variable_order=tuple(
                 tuple(member) for member in self.wcoj_variable_order
             ),
+            robustness=self.robustness,
+            prefix_bounds=tuple(self.prefix_bounds),
+            worst_case_bound=self.worst_case_bound,
         )
 
     def __repr__(self):
@@ -411,6 +452,15 @@ class PlanSpec:
     #: costed wcoj variable-elimination order (tuples of
     #: ``(relation, attribute)`` member tuples); empty for tree_filter
     wcoj_variable_order: tuple = ()
+    #: resolved robustness knob; "off" default keeps older pickled
+    #: specs rehydratable
+    robustness: str = "off"
+    #: guaranteed per-prefix cardinality bounds (aligned with ``order``;
+    #: empty when robustness="off") — derived metadata
+    prefix_bounds: tuple = ()
+    #: guaranteed worst-case probe work of ``order`` (0.0 when
+    #: robustness="off") — derived metadata
+    worst_case_bound: float = 0.0
 
     def __repr__(self):
         residuals = (
@@ -533,7 +583,8 @@ class Planner:
     def __init__(self, catalog, weights=None, eps=0.01, stats_cache=None,
                  idp_block_size=8, beam_width=8, planning_budget_ms=None,
                  partitioning="off", max_spanning_trees=16,
-                 execution="auto", cyclic_execution="auto", validate="off"):
+                 execution="auto", cyclic_execution="auto", validate="off",
+                 robustness="off", regret_factor=4.0):
         self.catalog = catalog
         self.weights = weights or CostWeights()
         self.eps = eps
@@ -580,6 +631,14 @@ class Planner:
                 f"got {validate!r}"
             )
         self.validate = validate
+        self.robustness = resolve_robustness(robustness)
+        if not isinstance(regret_factor, (int, float)) \
+                or isinstance(regret_factor, bool) or regret_factor < 1.0:
+            raise ValueError(
+                f"regret_factor must be a number >= 1.0, "
+                f"got {regret_factor!r}"
+            )
+        self.regret_factor = float(regret_factor)
         self._verifier = PlanVerifier()
         # Two levels of content-addressed partitioning reuse: whole
         # derived catalogs (so exact-repeat plan() calls share built
@@ -1024,6 +1083,7 @@ class Planner:
         execution=None,
         cyclic_execution=None,
         validate=None,
+        robustness=None,
     ):
         """Build a :class:`PhysicalPlan`.
 
@@ -1105,6 +1165,20 @@ class Planner:
             findings are attached as
             :attr:`PhysicalPlan.diagnostics`.  Like ``execution``, the
             knob never changes which plan is produced.
+        robustness:
+            ``"off"``, ``"bounded"`` or ``"auto"``; ``None`` (default)
+            uses the planner's configured default.  ``"bounded"``
+            derives guaranteed cardinality upper bounds
+            (:mod:`repro.core.bounds`) and, when the estimated-optimal
+            order's worst-case bound exceeds ``regret_factor`` times
+            the best achievable bound, swaps to the bound-optimal
+            order — capping worst-case regret at the configured factor.
+            ``"auto"`` additionally arms runtime cardinality-feedback
+            replanning (a :class:`~repro.service.session.QuerySession`
+            behavior; a bare ``plan()`` treats it like ``"bounded"``
+            plus the annotation).  The resolved value lands in the plan
+            fingerprint, :class:`PlanSpec` and the session plan-cache
+            key.
         """
         if optimizer not in self.OPTIMIZERS:
             raise ValueError(
@@ -1128,6 +1202,9 @@ class Planner:
                 f"validate must be one of {VALIDATE_CHOICES}, "
                 f"got {validate!r}"
             )
+        if robustness is None:
+            robustness = self.robustness
+        robustness = resolve_robustness(robustness)
         if planning_budget_ms is None:
             planning_budget_ms = self.planning_budget_ms
         deadline = (
@@ -1153,7 +1230,7 @@ class Planner:
             return self._validated(
                 self._plan_cyclic(
                     prep, modes, optimizer, driver, stats, deadline,
-                    tree_search, execution, cyclic_execution,
+                    tree_search, execution, cyclic_execution, robustness,
                 ),
                 prep, validate,
             )
@@ -1161,7 +1238,7 @@ class Planner:
             return self._validated(
                 self._plan_driver_auto(
                     prep, modes, optimizer, stats, flat_output, deadline,
-                    execution,
+                    execution, robustness,
                 ),
                 prep, validate,
             )
@@ -1192,6 +1269,9 @@ class Planner:
                     num_shards=prep.effective_shards,
                     execution=execution,
                 )
+        best = self._apply_robustness(
+            robustness, best, prep, modes, optimizer, deadline, flat_output,
+        )
         return self._validated(best, prep, validate)
 
     def _validated(self, plan, prep, validate):
@@ -1212,6 +1292,162 @@ class Planner:
         )
         plan.diagnostics = tuple(result.diagnostics)
         return plan
+
+    # ------------------------------------------------------------------
+    # Pessimistic bounded-regret planning (the robustness knob)
+    # ------------------------------------------------------------------
+
+    def _bound_stats(self, rooted, catalog, data_token=None):
+        """Bound statistics (``m=1, fo=max-frequency``) for a rooting.
+
+        Max-frequency derivation is O(edges) over catalog-cached hash
+        indexes and memoized through the stats cache under a
+        rooting-independent signature, exactly like
+        :func:`~repro.core.stats.directed_stats_from_data` — every
+        candidate rooting of one join graph shares a single derivation.
+        """
+        def derive():
+            return max_frequencies_from_data(catalog, rooted)
+
+        if self.stats_cache is not None and data_token is not None:
+            max_freqs, sizes = self.stats_cache.get_or_derive_signature(
+                data_token, bound_signature(rooted), "exact", derive,
+            )
+        else:
+            max_freqs, sizes = derive()
+        return bound_stats_for_rooting(rooted, max_freqs, sizes)
+
+    def _apply_robustness(self, robustness, plan, prep, modes, optimizer,
+                          deadline, flat_output, extra_cost=0.0):
+        """Tag, annotate and (possibly) re-order a winning plan.
+
+        ``"off"`` tags the plan and returns it untouched.  Otherwise:
+
+        1. derive bound statistics and find the **bound-optimal** order
+           — the existing order search under ``ExecutionMode.STD``
+           minimizes the worst-case objective exactly (see
+           :mod:`repro.core.bounds`);
+        2. the bounded-regret gate: if the estimated-optimal order's
+           worst-case cost exceeds ``regret_factor`` times the
+           bound-optimal order's, swap to the bound-optimal order and
+           re-price it under the *estimated* statistics across the
+           requested non-semi-join modes (semi-join child orders are
+           entangled with their own phase-1 search, and full reduction
+           already discards doomed tuples before the join, so SJ-only
+           mode requests keep their plan and only gain annotations);
+        3. annotate the final order with its guaranteed per-prefix
+           cardinality bounds and worst-case cost.
+
+        Guarantee: the returned plan's worst-case bound cost is at most
+        ``regret_factor`` times the best achievable worst-case bound
+        cost, no matter how wrong the estimates were.  ``extra_cost``
+        rides along when the caller's predicted cost includes an
+        order-invariant term (a cyclic winner's residual filters).
+        """
+        if plan is None:
+            return None
+        plan.robustness = robustness
+        if robustness == "off":
+            return plan
+        rooted = plan.query
+        bound_stats = self._bound_stats(rooted, prep.stats_catalog,
+                                        data_token=prep.data_token)
+        memo_bound = CostMemo(rooted)
+        current_bound = worst_case_cost(
+            rooted, bound_stats, plan.order, eps=self.eps,
+            weights=self.weights, memo=memo_bound,
+        )
+        robust_order, _ = self._order_for_mode(
+            rooted, bound_stats, ExecutionMode.STD, optimizer, memo_bound,
+            deadline=deadline,
+        )
+        optimal_bound = current_bound
+        if robust_order is not None:
+            optimal_bound = min(current_bound, worst_case_cost(
+                rooted, bound_stats, robust_order, eps=self.eps,
+                weights=self.weights, memo=memo_bound,
+            ))
+        swap_modes = [m for m in modes if not m.uses_semijoin]
+        if (robust_order is not None and swap_modes
+                and current_bound > self.regret_factor * optimal_bound):
+            best_mode = best_cost = None
+            memo = CostMemo(rooted)
+            for candidate_mode in swap_modes:
+                cost = self._cost(rooted, plan.stats, robust_order,
+                                  candidate_mode, flat_output, memo)
+                if best_cost is None or cost < best_cost:
+                    best_mode, best_cost = candidate_mode, cost
+            plan.order = list(robust_order)
+            plan.mode = best_mode
+            plan.child_orders = {}
+            plan.predicted_cost = best_cost + extra_cost
+            current_bound = optimal_bound
+        plan.prefix_bounds = prefix_cardinality_bounds(
+            bound_stats, plan.order
+        )
+        plan.worst_case_bound = current_bound
+        return plan
+
+    def replan(self, plan, corrected, mode="auto", optimizer="auto",
+               flat_output=True):
+        """Re-optimize an acyclic plan against corrected statistics.
+
+        The cold half of runtime cardinality feedback
+        (:mod:`repro.engine.feedback`): keeps the plan's derived
+        catalog (selections already pushed down, partitioning already
+        applied) and its tree edges, and re-runs the order + mode
+        search with ``corrected`` — typically
+        :func:`~repro.engine.feedback.corrected_stats` output built
+        from a :class:`~repro.engine.feedback.ReplanSignal`'s
+        observations.  Pass the original ``mode`` knob so a forced mode
+        stays forced; ``"auto"`` re-picks the cheapest strategy.
+
+        Robustness bound annotations are recomputed when the original
+        plan carried them, so a replanned plan passes the same BOUND
+        lint checks (the max-frequency read hits the catalog's index
+        cache — the executed plan already built those indexes).
+        """
+        if plan.is_cyclic:
+            raise ValueError(
+                "replan() supports acyclic plans only (cyclic execution "
+                "interleaves residual filters, so per-join feedback does "
+                "not measure single edges)"
+            )
+        rooted = plan.query
+        modes = (
+            ExecutionMode.all_modes() if mode == "auto"
+            else [ExecutionMode(mode)]
+        )
+        optimizer = self.resolve_optimizer(
+            optimizer, rooted.num_relations, self.planning_budget_ms
+        )
+        memo = CostMemo(rooted)
+        best = None
+        for candidate_mode in modes:
+            order, child_orders = self._order_for_mode(
+                rooted, corrected, candidate_mode, optimizer, memo,
+            )
+            cost = self._cost(rooted, corrected, order, candidate_mode,
+                              flat_output, memo)
+            if best is None or cost < best[0]:
+                best = (cost, order, candidate_mode, child_orders)
+        cost, order, new_mode, child_orders = best
+        replanned = replace(
+            plan, order=list(order), mode=new_mode,
+            child_orders=child_orders, stats=corrected,
+            predicted_cost=cost, diagnostics=(),
+            prefix_bounds=(), worst_case_bound=0.0,
+        )
+        if plan.robustness != "off":
+            bound_stats = self._bound_stats(rooted, plan.catalog)
+            replanned.prefix_bounds = prefix_cardinality_bounds(
+                bound_stats, replanned.order
+            )
+            replanned.worst_case_bound = worst_case_cost(
+                rooted, bound_stats, replanned.order, eps=self.eps,
+                weights=self.weights,
+            )
+        return replanned
 
     # ------------------------------------------------------------------
     # Driver choice at scale (cross-rooting search)
@@ -1281,7 +1517,7 @@ class Planner:
         return directed, sizes
 
     def _plan_driver_auto(self, prep, modes, optimizer, stats, flat_output,
-                          deadline, execution):
+                          deadline, execution, robustness="off"):
         """The cross-rooting driver search (see :meth:`plan`).
 
         Three coordinated optimizations over the naive
@@ -1389,7 +1625,9 @@ class Planner:
                         num_shards=prep.effective_shards,
                         execution=execution,
                     )
-        return best
+        return self._apply_robustness(
+            robustness, best, prep, modes, optimizer, deadline, flat_output,
+        )
 
     # ------------------------------------------------------------------
     # Cyclic queries: joint spanning-tree + join-order search
@@ -1488,7 +1726,8 @@ class Planner:
         return derive()
 
     def _plan_cyclic(self, prep, modes, optimizer, driver, stats, deadline,
-                     tree_search, execution, cyclic_execution):
+                     tree_search, execution, cyclic_execution,
+                     robustness="off"):
         """Joint spanning-tree + join-order search for a cyclic query.
 
         The cyclic analogue of :meth:`_plan_driver_auto`, one level up:
@@ -1651,6 +1890,19 @@ class Planner:
                             residual_selectivities=residual_sels,
                             execution=execution,
                         )
+        if best is not None:
+            # Gate the winning *tree* order before strategy arbitration
+            # (wcoj keeps the tree order; only the strategy flag and
+            # cost change after this).  The residual-filter term is
+            # order-invariant for the winning tree, so it rides along
+            # as extra cost when the gate re-prices a swapped order.
+            best = self._apply_robustness(
+                robustness, best, prep, modes, optimizer, deadline, True,
+                extra_cost=residual_filter_cost(
+                    expected_output_size(best.query, best.stats),
+                    best.residual_selectivities, self.weights,
+                ),
+            )
         if cyclic_execution != "tree_filter" and best.residuals:
             distincts = self._cyclic_distincts(prep)
             classes = variable_classes(predicates)
@@ -1754,6 +2006,9 @@ class Planner:
                 tuple(member)
                 for member in getattr(spec, "wcoj_variable_order", ())
             ),
+            robustness=getattr(spec, "robustness", "off"),
+            prefix_bounds=tuple(getattr(spec, "prefix_bounds", ())),
+            worst_case_bound=getattr(spec, "worst_case_bound", 0.0),
         )
         if validate != "off":
             source = query if isinstance(query, ParsedQuery) else None

@@ -221,6 +221,7 @@ class AsyncQueryService:
             "planned_inline": 0,
             "process_pool_fallbacks": 0,
             "heavy_admissions": 0,
+            "replans": 0,
         }
 
     # ------------------------------------------------------------------
@@ -334,6 +335,11 @@ class AsyncQueryService:
                             # workers verify what they plan; the spec
                             # additionally re-verifies on rehydration
                             "validate": planner.validate,
+                            # workers must plan under the session's
+                            # robustness posture or their specs would
+                            # land under the wrong cache key
+                            "robustness": planner.robustness,
+                            "regret_factor": planner.regret_factor,
                         },
                     ),
                 )
@@ -484,6 +490,9 @@ class AsyncQueryService:
                 report = await loop.run_in_executor(self._executor, run)
             if key is not None:
                 self._signals.observe(key, report)
+            replans = getattr(report, "replans", 0)
+            if replans:
+                self._bump("replans", replans)
             self._bump("completed")
             return report
 

@@ -17,7 +17,12 @@ from dataclasses import dataclass, field, replace
 
 from ..core.parser import ParsedQuery, Placeholder, parse_query
 from ..core.stats import QueryStats, StatsCache
-from ..engine import BudgetExceededError
+from ..engine import (
+    BudgetExceededError,
+    CardinalityMonitor,
+    ReplanSignal,
+    corrected_stats,
+)
 from ..planner import Planner, filtered_table
 from ..storage.partition import PartitionedTable
 from .plancache import PlanCache
@@ -69,6 +74,13 @@ class QueryReport:
     #: (:mod:`repro.analysis`; empty when ``validate="off"`` or the
     #: plan was a cache hit from an unvalidated entry)
     diagnostics: tuple = ()
+    #: runtime-feedback replans performed during this execution
+    #: (``robustness="auto"`` only; 0 otherwise)
+    replans: int = 0
+    #: largest observed-vs-estimated per-join cardinality q-error seen
+    #: across this execution's (possibly replanned) runs — 0.0 when the
+    #: run was unmonitored, 1.0 means every estimate was exact
+    observed_q_error: float = 0.0
     timed_out: bool = False
     error: Exception = None
 
@@ -143,6 +155,14 @@ def _reported_run(query, plan_phase, session=None):
             report.result, "reduction_seconds", 0.0
         )
         report.residual_predicates = tuple(getattr(plan, "residuals", ()))
+        report.replans = getattr(report.result, "replans", 0)
+        report.observed_q_error = getattr(
+            report.result, "observed_q_error", 0.0
+        )
+        if report.replans:
+            # the served plan is the replanned one the execution ended
+            # on, not the optimistic plan the phase produced
+            report.plan = getattr(report.result, "served_plan", report.plan)
         counters = getattr(report.result, "counters", None)
         residual_input = getattr(counters, "residual_input_tuples", 0)
         if residual_input:
@@ -210,13 +230,37 @@ class QuerySession:
         produced, and verdicts are cached per plan fingerprint so the
         warm path pays nothing.  Findings surface on
         :attr:`QueryReport.diagnostics`.
+    robustness:
+        Pessimistic-planning posture (``"off"`` / ``"bounded"`` /
+        ``"auto"``), forwarded to the :class:`~repro.planner.Planner`
+        and keyed *raw* in the plan cache (like ``cyclic_execution``:
+        the postures produce differently-annotated — and possibly
+        different — plans, so they must never share an entry).
+        ``"auto"`` additionally arms runtime cardinality feedback:
+        executions run monitored and replan mid-flight when the
+        observed-vs-estimated q-error crosses ``replan_threshold``.
+    regret_factor:
+        Worst-case regret cap for ``robustness != "off"`` (forwarded to
+        the :class:`~repro.planner.Planner`, part of the plan-cache
+        key): the served plan's guaranteed cardinality bound never
+        exceeds this multiple of the best achievable bound.
+    replan_threshold:
+        Running q-error (>= 1.0) at which a monitored execution aborts
+        and replans with corrected statistics.  Runtime behaviour only
+        — never part of the plan-cache key.
+    max_replans:
+        Replan budget per execution; after this many trips the original
+        signal's plan finishes unmonitored (no livelock).  Runtime
+        behaviour only — never part of the plan-cache key.
     """
 
     def __init__(self, catalog, weights=None, eps=0.01, plan_cache_size=128,
                  stats_cache_size=256, idp_block_size=8, beam_width=8,
                  planning_budget_ms=None, partitioning="off",
                  max_spanning_trees=16, execution="auto",
-                 cyclic_execution="auto", validate="off"):
+                 cyclic_execution="auto", validate="off",
+                 robustness="off", regret_factor=4.0,
+                 replan_threshold=8.0, max_replans=2):
         self.catalog = catalog
         self.planner = Planner(
             catalog, weights=weights, eps=eps,
@@ -226,8 +270,24 @@ class QuerySession:
             partitioning=partitioning,
             max_spanning_trees=max_spanning_trees,
             execution=execution, cyclic_execution=cyclic_execution,
-            validate=validate,
+            validate=validate, robustness=robustness,
+            regret_factor=regret_factor,
         )
+        if isinstance(replan_threshold, bool) or not isinstance(
+            replan_threshold, (int, float)
+        ) or replan_threshold < 1.0:
+            raise ValueError(
+                "replan_threshold is a q-error (a number >= 1.0), got "
+                f"{replan_threshold!r}"
+            )
+        if isinstance(max_replans, bool) or not isinstance(
+            max_replans, int
+        ) or max_replans < 0:
+            raise ValueError(
+                f"max_replans must be an integer >= 0, got {max_replans!r}"
+            )
+        self.replan_threshold = float(replan_threshold)
+        self.max_replans = max_replans
         self.plan_cache = PlanCache(plan_cache_size)
         self._last_fingerprint = None
 
@@ -238,7 +298,7 @@ class QuerySession:
     def _plan_options(self, mode, resolved_optimizer, driver, stats,
                       flat_output, resolved_shards, partition_floor,
                       budget_ms, tree_search, resolved_execution,
-                      cyclic_execution):
+                      cyclic_execution, robustness):
         # Keyed on the *resolved* algorithm and shard count (never the
         # raw "auto"), so an auto-planned query and an explicit request
         # for the same resolution share one cache entry.  The scaling
@@ -273,6 +333,13 @@ class QuerySession:
             # by data-dependent cost, so "auto" and a forced strategy
             # must never share an entry even when they resolve alike
             cyclic_execution,
+            # robustness posture, keyed RAW: "off" plans carry no bound
+            # annotations, "bounded"/"auto" may carry a *different order*
+            # (the regret gate is data-dependent), so postures must
+            # never share an entry; the regret_factor rides along
+            # because it decides whether the gate swaps the order
+            robustness,
+            self.planner.regret_factor,
         )
 
     @staticmethod
@@ -286,7 +353,7 @@ class QuerySession:
                   driver="fixed", stats="exact", flat_output=True,
                   partitioning=None, planning_budget_ms=None,
                   tree_search="joint", execution=None,
-                  cyclic_execution=None, validate=None):
+                  cyclic_execution=None, validate=None, robustness=None):
         """The plan-cache key :meth:`plan` would use for this request.
 
         ``validate`` is accepted (so callers can forward uniform plan
@@ -323,6 +390,8 @@ class QuerySession:
         resolved_execution = self.planner.resolve_execution(execution)
         if cyclic_execution is None:
             cyclic_execution = self.planner.cyclic_execution
+        if robustness is None:
+            robustness = self.planner.robustness
         return self.plan_cache.key(
             query,
             fingerprint,
@@ -330,14 +399,14 @@ class QuerySession:
                                flat_output, resolved_shards,
                                partition_floor, planning_budget_ms,
                                tree_search, resolved_execution,
-                               cyclic_execution),
+                               cyclic_execution, robustness),
         )
 
     def plan(self, query, mode="auto", optimizer="exhaustive", driver="fixed",
              stats="exact", flat_output=True, use_cache=True,
              partitioning=None, planning_budget_ms=None,
              tree_search="joint", execution=None, cyclic_execution=None,
-             validate=None):
+             validate=None, robustness=None):
         """A :class:`~repro.planner.PhysicalPlan`, via the plan cache.
 
         Accepts the same arguments as :meth:`Planner.plan` (including
@@ -360,6 +429,7 @@ class QuerySession:
             planning_budget_ms=planning_budget_ms,
             tree_search=tree_search, execution=execution,
             cyclic_execution=cyclic_execution, validate=validate,
+            robustness=robustness,
         )[0]
 
     def _plan_with_hit(self, query, mode="auto", optimizer="exhaustive",
@@ -367,7 +437,7 @@ class QuerySession:
                        use_cache=True, partitioning=None,
                        planning_budget_ms=None, tree_search="joint",
                        execution=None, cyclic_execution=None,
-                       validate=None):
+                       validate=None, robustness=None):
         """``(plan, cache_hit)`` — :meth:`plan` plus a race-free hit flag.
 
         The flag comes from *this call's own* cache lookup, never from
@@ -385,7 +455,7 @@ class QuerySession:
                 partitioning=partitioning,
                 planning_budget_ms=planning_budget_ms,
                 tree_search=tree_search, execution=execution,
-                cyclic_execution=cyclic_execution,
+                cyclic_execution=cyclic_execution, robustness=robustness,
             )
             plan = self.plan_cache.get(key)
             if plan is not None:
@@ -397,6 +467,7 @@ class QuerySession:
                 planning_budget_ms=planning_budget_ms,
                 tree_search=tree_search, execution=execution,
                 cyclic_execution=cyclic_execution, validate=validate,
+                robustness=robustness,
             )
             self.plan_cache.put(key, plan)
             return plan, False
@@ -405,7 +476,7 @@ class QuerySession:
             stats=stats, flat_output=flat_output, partitioning=partitioning,
             planning_budget_ms=planning_budget_ms, tree_search=tree_search,
             execution=execution, cyclic_execution=cyclic_execution,
-            validate=validate,
+            validate=validate, robustness=robustness,
         ), False
 
     def explain(self, query, **plan_kwargs):
@@ -418,7 +489,11 @@ class QuerySession:
 
     def execute(self, query, flat_output=True, collect_output=False,
                 max_intermediate_tuples=DEFAULT_BUDGET, **plan_kwargs):
-        """Plan (through the cache) and run one query; returns a report."""
+        """Plan (through the cache) and run one query; returns a report.
+
+        Plans carrying ``robustness="auto"`` run under runtime
+        cardinality feedback: see :meth:`_run_with_feedback`.
+        """
 
         def plan_phase():
             plan, cache_hit = self._plan_with_hit(
@@ -426,15 +501,113 @@ class QuerySession:
             )
 
             def run():
-                return plan.execute(
-                    flat_output=flat_output,
-                    collect_output=collect_output,
-                    max_intermediate_tuples=max_intermediate_tuples,
+                return self._run_with_feedback(
+                    plan, query, flat_output, collect_output,
+                    max_intermediate_tuples, plan_kwargs,
                 )
 
             return plan, cache_hit, run
 
         return _reported_run(query, plan_phase, session=self)
+
+    def _run_with_feedback(self, plan, query, flat_output, collect_output,
+                           max_intermediate_tuples, plan_kwargs):
+        """Execute a plan, replanning on runtime cardinality feedback.
+
+        Acyclic plans carrying ``robustness="auto"`` run monitored: the
+        pipelines report each join step's (probes, matches) to a
+        :class:`~repro.engine.CardinalityMonitor`, and when the running
+        observed-vs-estimated q-error crosses ``replan_threshold`` the
+        execution aborts with a :class:`~repro.engine.ReplanSignal`.
+        The loop then folds the observations into corrected statistics
+        (:func:`~repro.engine.corrected_stats`), asks the planner for a
+        fresh order under them (:meth:`Planner.replan`) and re-executes
+        — at most ``max_replans`` times; the attempt after the last
+        trip runs unmonitored, so pathological data degrades to
+        finishing a plan rather than looping.  When a replanned
+        execution succeeds, the corrected plan replaces the optimistic
+        one in the plan cache (same key), so future warm traffic serves
+        the corrected order directly.
+
+        Everything else (``robustness`` off/bounded, cyclic plans,
+        empty orders) takes the plain single-execution path untouched.
+        Semijoin-mode executions run unmonitored too: they probe
+        *reduced* indexes, so the observed per-join selectivity is a
+        post-reduction fanout the ``m * fo`` edge estimate is not
+        comparable against — a monitor there would manufacture
+        q-errors out of the reduction itself.
+        """
+        if (getattr(plan, "robustness", "off") != "auto"
+                or plan.is_cyclic or not plan.order):
+            return plan.execute(
+                flat_output=flat_output, collect_output=collect_output,
+                max_intermediate_tuples=max_intermediate_tuples,
+            )
+        current = plan
+        replans = 0
+        observed_q = 1.0
+        budget = self.max_replans
+        while True:
+            monitor = None
+            if replans < budget and not current.mode.uses_semijoin:
+                monitor = CardinalityMonitor(
+                    {
+                        relation: current.stats.selectivity(relation)
+                        for relation in current.order
+                    },
+                    threshold=self.replan_threshold,
+                )
+            try:
+                result = current.execute(
+                    flat_output=flat_output, collect_output=collect_output,
+                    max_intermediate_tuples=max_intermediate_tuples,
+                    monitor=monitor,
+                )
+            except ReplanSignal as signal:
+                replans += 1
+                observed_q = max(observed_q, signal.q_error)
+                try:
+                    current = self.planner.replan(
+                        current,
+                        corrected_stats(current.stats, signal.observed),
+                        mode=plan_kwargs.get("mode", "auto"),
+                        optimizer=plan_kwargs.get("optimizer", "exhaustive"),
+                        flat_output=flat_output,
+                    )
+                except Exception:
+                    # replanning itself failed (e.g. a budget deadline):
+                    # finish the plan we have, unmonitored, rather than
+                    # dropping the query
+                    budget = replans
+                continue
+            if monitor is not None:
+                observed_q = max(observed_q, monitor.max_q_error)
+            result.replans = replans
+            result.observed_q_error = observed_q
+            if replans and current is not plan:
+                result.served_plan = current
+                key = self._feedback_cache_key(query, flat_output,
+                                               plan_kwargs)
+                if key is not None:
+                    # future warm traffic serves the corrected plan
+                    self.plan_cache.put(key, current)
+            return result
+
+    def _feedback_cache_key(self, query, flat_output, plan_kwargs):
+        """The cache key a replanned plan should replace, or ``None``.
+
+        Mirrors :meth:`_plan_with_hit`'s caching conditions: requests
+        with ``use_cache=False`` or prebuilt :class:`QueryStats` never
+        touched the cache, so their corrected plans must not either.
+        """
+        kwargs = dict(plan_kwargs)
+        use_cache = kwargs.pop("use_cache", True)
+        kwargs.pop("validate", None)
+        if not use_cache or isinstance(kwargs.get("stats"), QueryStats):
+            return None
+        if isinstance(query, str):
+            query = parse_query(query)
+        return self.cache_key(query, flat_output=flat_output, **kwargs)
 
     def execute_many(self, queries, budgets=None,
                      max_intermediate_tuples=DEFAULT_BUDGET,

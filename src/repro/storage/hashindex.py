@@ -152,6 +152,17 @@ class HashIndex:
     def num_distinct(self):
         return len(self._unique_keys)
 
+    @property
+    def max_group_size(self):
+        """Largest number of rows sharing one key value.
+
+        The guaranteed per-probe match ceiling: no probe key can ever
+        return more rows than the heaviest key group.  This is the
+        max-frequency statistic the pessimistic bound derivation
+        (:mod:`repro.core.bounds`) is built on.
+        """
+        return int(self._counts.max()) if len(self._counts) else 0
+
     def distinct_keys(self):
         """The distinct key values, ascending."""
         return self._unique_keys

@@ -311,6 +311,20 @@ class ShardedHashIndex:
         return sum(shard.num_distinct for shard in self._shards)
 
     @property
+    def max_group_size(self):
+        """Largest number of rows sharing one key value, over all shards.
+
+        Hash routing puts every occurrence of a key in exactly one
+        shard, so the global heaviest key group is the heaviest
+        per-shard group — the shard-wise maximum is *exact*, not a
+        bound, and bit-identical to the monolithic
+        :attr:`HashIndex.max_group_size`.
+        """
+        return max(
+            (shard.max_group_size for shard in self._shards), default=0
+        )
+
+    @property
     def key_dtype(self):
         """Dtype of the indexed key column (same in every shard)."""
         return self._shards[0].key_dtype

@@ -380,6 +380,72 @@ def test_verifier_raises_and_caches(acyclic_plan):
         verifier.verify_plan(bad, source=ACYCLIC_SQL)
 
 
+# ----------------------------------------------------------------------
+# Pessimistic-bound annotations (BOUND001-003)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture()
+def bounded_plan(catalog):
+    return Planner(catalog, robustness="bounded").plan(ACYCLIC_SQL)
+
+
+def test_clean_bounded_plan_verifies_clean(bounded_plan):
+    assert bounded_plan.robustness == "bounded"
+    assert verify_plan(bounded_plan, source=ACYCLIC_SQL).ok
+
+
+def test_invalid_robustness_posture(acyclic_plan):
+    bad = dataclasses.replace(acyclic_plan, robustness="paranoid")
+    assert "BOUND001" in failing_codes(bad, ACYCLIC_SQL)
+
+
+def test_off_plan_carrying_bounds(acyclic_plan):
+    bad = dataclasses.replace(
+        acyclic_plan, prefix_bounds=(10.0,), worst_case_bound=5.0
+    )
+    assert "BOUND002" in failing_codes(bad, ACYCLIC_SQL)
+
+
+def test_robust_plan_missing_a_bound(bounded_plan):
+    bad = dataclasses.replace(
+        bounded_plan, prefix_bounds=bounded_plan.prefix_bounds[:-1]
+    )
+    assert "BOUND002" in failing_codes(bad, ACYCLIC_SQL)
+
+
+def test_non_finite_bound(bounded_plan):
+    bad = dataclasses.replace(
+        bounded_plan, worst_case_bound=float("inf")
+    )
+    assert "BOUND003" in failing_codes(bad, ACYCLIC_SQL)
+    negative = dataclasses.replace(
+        bounded_plan,
+        prefix_bounds=(-1.0,) + bounded_plan.prefix_bounds[1:],
+    )
+    assert "BOUND003" in failing_codes(negative, ACYCLIC_SQL)
+
+
+def test_fingerprint_sensitive_to_robustness(bounded_plan):
+    flipped = dataclasses.replace(bounded_plan, robustness="off")
+    assert flipped.fingerprint() != bounded_plan.fingerprint()
+
+
+def test_spec_bound_checks(catalog, bounded_plan):
+    spec = bounded_plan.to_spec(catalog.fingerprint())
+    assert verify_spec(spec, ACYCLIC_SQL, catalog).ok
+    bad = dataclasses.replace(spec, robustness="paranoid")
+    assert "BOUND001" in {
+        d.code for d in verify_spec(bad, ACYCLIC_SQL, catalog).errors
+    }
+    short = dataclasses.replace(
+        spec, prefix_bounds=tuple(spec.prefix_bounds)[:-1]
+    )
+    assert "BOUND002" in {
+        d.code for d in verify_spec(short, ACYCLIC_SQL, catalog).errors
+    }
+
+
 def test_distinct_corruption_codes_covered():
     """Acceptance guard: the corruption matrix spans >= 8 codes."""
     corrupted = {
@@ -388,6 +454,7 @@ def test_distinct_corruption_codes_covered():
         "SCHEMA001", "SCHEMA002", "SHARD001", "ROWID001",
         "FP001", "FP003", "FP004",
         "SPEC001", "SPEC002", "SPEC003", "SPEC004", "SPEC005",
+        "BOUND001", "BOUND002", "BOUND003",
     }
     assert len(corrupted) >= 8
     assert corrupted <= set(DIAGNOSTIC_CODES)

@@ -1,8 +1,9 @@
 """Tests for the q-error metric."""
 
+import numpy as np
 import pytest
 
-from repro.estimation import mean_q_error, q_error
+from repro.estimation import mean_q_error, q_error, running_q_error
 
 
 def test_perfect_estimate():
@@ -31,3 +32,29 @@ def test_mean_q_error_empty():
 def test_mean_q_error_shape_mismatch():
     with pytest.raises(ValueError, match="shape mismatch"):
         mean_q_error([1.0], [1.0, 2.0])
+
+
+def test_mean_q_error_matches_scalar_pairwise():
+    rng = np.random.default_rng(7)
+    estimates = rng.uniform(0.0, 10.0, 200)
+    truths = rng.uniform(0.0, 10.0, 200)
+    # sprinkle exact zeros to exercise the floor path
+    estimates[::17] = 0.0
+    truths[::23] = 0.0
+    errors = [q_error(e, t) for e, t in zip(estimates, truths)]
+    mean, std = mean_q_error(estimates, truths)
+    assert mean == pytest.approx(np.mean(errors))
+    assert std == pytest.approx(np.std(errors))
+
+
+def test_running_q_error_is_running_max():
+    running = 1.0
+    observations = [(1.0, 1.0), (2.0, 8.0), (5.0, 5.0), (1.0, 2.0)]
+    for estimate, truth in observations:
+        running = running_q_error(running, estimate, truth)
+    assert running == 4.0  # the (2, 8) pair dominates
+
+
+def test_running_q_error_never_decreases():
+    assert running_q_error(10.0, 5.0, 5.0) == 10.0
+    assert running_q_error(1.0, 0.0, 1.0, floor=0.1) == 10.0

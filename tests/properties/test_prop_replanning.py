@@ -1,0 +1,112 @@
+"""Property: replanning never changes answers, only plans.
+
+The replan-equivalence sweep the robustness issue requires: with
+replanning forced on (hair-trigger threshold against corrupted
+statistics) and off, across shard counts {1, 2, 8}, both execution
+kernels and acyclic/cyclic shapes, results must be identical tuple for
+tuple — and, because results are base-row-id tuples here, identical
+base-row-id sets — and must match the brute-force reference.
+"""
+
+import numpy as np
+import pytest
+
+from repro import QuerySession
+from repro.storage import Catalog
+
+from tests.helpers import (
+    StatsCorruptingCatalog,
+    brute_force_join,
+    make_running_example_query,
+    make_small_catalog,
+    result_tuples,
+)
+
+SHARD_COUNTS = (1, 2, 8)
+EXECUTIONS = ("vectorized", "interpreted")
+#: trips on any estimate that is even marginally wrong — forces the
+#: replan machinery through every monitored execution
+HAIR_TRIGGER = 1.000001
+
+#: every relation's statistics lie in a different direction
+SWEEP_CORRUPTION = {"R2": 0.02, "R5": 40.0, "R3": 0.1, "R6": 25.0}
+
+CYCLIC_SQL = (
+    "select * from A, B, C where A.x = B.x and A.y = C.y and B.z = C.z"
+)
+
+
+def make_cyclic_catalog(seed=11):
+    rng = np.random.default_rng(seed)
+    catalog = Catalog()
+    catalog.add_table("A", {"x": rng.integers(0, 6, 30),
+                            "y": rng.integers(0, 6, 30)})
+    catalog.add_table("B", {"x": rng.integers(0, 6, 25),
+                            "z": rng.integers(0, 6, 25)})
+    catalog.add_table("C", {"y": rng.integers(0, 6, 20),
+                            "z": rng.integers(0, 6, 20)})
+    return catalog
+
+
+@pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+@pytest.mark.parametrize("execution", EXECUTIONS)
+def test_replan_equivalence_acyclic(num_shards, execution):
+    catalog = make_small_catalog()
+    corrupted = StatsCorruptingCatalog(catalog, SWEEP_CORRUPTION)
+    query = make_running_example_query()
+    expected = brute_force_join(catalog, query)
+
+    forced = QuerySession(
+        corrupted, robustness="auto", replan_threshold=HAIR_TRIGGER,
+        partitioning=num_shards, execution=execution,
+    ).execute(query, mode="STD", collect_output=True)
+    off = QuerySession(
+        corrupted, robustness="off",
+        partitioning=num_shards, execution=execution,
+    ).execute(query, mode="STD", collect_output=True)
+
+    context = (num_shards, execution)
+    assert forced.ok and off.ok, context
+    # bit-identical base-row-id tuple sets, and both match brute force
+    assert result_tuples(forced.result, query) == expected, context
+    assert result_tuples(off.result, query) == expected, context
+    # the corruption is strong enough that the hair trigger really
+    # exercised the machinery on every configuration
+    assert forced.replans >= 1, context
+    assert off.replans == 0, context
+
+
+@pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+@pytest.mark.parametrize("execution", EXECUTIONS)
+def test_replan_equivalence_cyclic(num_shards, execution):
+    """Cyclic plans run unmonitored: forced-on must equal off exactly."""
+    catalog = make_cyclic_catalog()
+    forced = QuerySession(
+        catalog, robustness="auto", replan_threshold=HAIR_TRIGGER,
+        partitioning=num_shards, execution=execution,
+    ).execute(CYCLIC_SQL, collect_output=True)
+    off = QuerySession(
+        catalog, robustness="off",
+        partitioning=num_shards, execution=execution,
+    ).execute(CYCLIC_SQL, collect_output=True)
+
+    context = (num_shards, execution)
+    assert forced.ok and off.ok, context
+    assert forced.replans == 0, context
+    query = forced.plan.query
+    assert result_tuples(forced.result, query) == \
+        result_tuples(off.result, off.plan.query), context
+
+
+def test_replan_equivalence_across_seeds():
+    """Different data draws: the sweep is not tuned to one catalog."""
+    query = make_running_example_query()
+    for seed in (1, 7, 19):
+        catalog = make_small_catalog(seed=seed)
+        corrupted = StatsCorruptingCatalog(catalog, SWEEP_CORRUPTION)
+        expected = brute_force_join(catalog, query)
+        forced = QuerySession(
+            corrupted, robustness="auto", replan_threshold=HAIR_TRIGGER,
+        ).execute(query, mode="STD", collect_output=True)
+        assert forced.ok, seed
+        assert result_tuples(forced.result, query) == expected, seed
