@@ -1,0 +1,225 @@
+"""Distributed scatter/gather benchmark: local vs worker-pool execution.
+
+Runs a warm (plan-cached) heavy-join mix through one
+:class:`repro.QuerySession` per placement configuration — ``local`` and
+``distributed`` with {1, 2, 4} workers — over a hash-partitioned
+catalog, and records warm QPS plus p50/p95 latency per configuration,
+alongside the scatter/gather overhead telemetry the reports carry.
+
+Results land in ``benchmarks/results/BENCH_distributed.json``.
+
+``--smoke`` shrinks the grid for CI; ``--check-baseline`` compares the
+fresh local warm QPS against the committed file before overwriting and
+fails on a >30% regression.  The paper-motivated speedup expectation —
+distributed 4-worker warm QPS at least 2x local — is asserted only on
+hosts with >= 4 cores; single-core containers record the ratio without
+gating on it (process workers cannot beat the GIL-free local loop when
+they all share one core).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import QuerySession
+from repro.storage import Catalog
+
+RESULTS_DIR = Path(__file__).parent / "results"
+RESULTS_PATH = RESULTS_DIR / "BENCH_distributed.json"
+
+#: first join is on the partitioning key, so distributed runs
+#: hash-route driver rows to the owning worker's shards
+SQL = ("select * from R1, R2, R3, R5 "
+       "where R1.B = R2.B and R2.C = R3.C and R1.E = R5.E")
+
+WORKER_COUNTS = (1, 2, 4)
+SHARDS = 8
+
+QUERIES_PER_CELL = 64
+SMOKE_QUERIES_PER_CELL = 12
+
+BASELINE_TOLERANCE = 0.30
+#: distributed(4 workers) warm QPS must reach this multiple of local —
+#: enforced only on hosts with >= SPEEDUP_MIN_CPUS cores
+SPEEDUP_FLOOR = 2.0
+SPEEDUP_MIN_CPUS = 4
+
+
+def make_catalog(seed=11, driver_rows=6_000, child_rows=4_000, domain=1_500):
+    rng = np.random.default_rng(seed)
+    catalog = Catalog()
+    catalog.add_table("R1", {
+        "A": np.arange(driver_rows),
+        "B": rng.integers(0, domain, driver_rows),
+        "E": rng.integers(0, domain, driver_rows),
+    })
+    catalog.add_table("R2", {
+        "B": rng.integers(0, domain, child_rows),
+        "C": rng.integers(0, domain, child_rows),
+    })
+    catalog.add_table("R3", {"C": rng.integers(0, domain, child_rows)})
+    catalog.add_table("R5", {"E": rng.integers(0, domain, child_rows)})
+    return catalog
+
+
+def percentile(samples, fraction):
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def bench_cell(catalog, num_queries, *, placement, num_workers):
+    """Warm-mix QPS + latency for one placement configuration."""
+    kwargs = {"partitioning": SHARDS}
+    if placement == "distributed":
+        kwargs.update(placement="distributed", num_workers=num_workers)
+    session = QuerySession(catalog, **kwargs)
+    try:
+        # warm the plan cache — and, distributed, the worker processes
+        # and their worker-local indexes — untimed
+        warmup = session.execute(SQL)
+        assert warmup.ok, warmup.error
+        latencies = []
+        start = time.perf_counter()
+        scatter = gather = 0.0
+        for _ in range(num_queries):
+            begin = time.perf_counter()
+            report = session.execute(SQL)
+            latencies.append(time.perf_counter() - begin)
+            assert report.ok, (
+                f"query failed mid-benchmark: error={report.error!r}"
+            )
+            scatter += report.scatter_seconds
+            gather += report.gather_seconds
+        wall = time.perf_counter() - start
+        label = (placement if placement == "local"
+                 else f"distributed-{num_workers}w")
+        return {
+            "configuration": label,
+            "placement": placement,
+            "num_workers": num_workers if placement == "distributed" else 0,
+            "queries": num_queries,
+            "qps": round(num_queries / wall, 1),
+            "p50_ms": round(percentile(latencies, 0.50) * 1e3, 3),
+            "p95_ms": round(percentile(latencies, 0.95) * 1e3, 3),
+            "wall_seconds": round(wall, 3),
+            "scatter_ms_per_query": round(scatter / num_queries * 1e3, 3),
+            "gather_ms_per_query": round(gather / num_queries * 1e3, 3),
+            "workers_used": warmup.workers_used,
+        }
+    finally:
+        session.close()
+
+
+def check_baseline(record):
+    """Fail on a >30% local warm-QPS drop vs the committed results."""
+    if not RESULTS_PATH.exists():
+        print("[baseline check skipped: no committed results]")
+        return
+    committed = json.loads(RESULTS_PATH.read_text())
+    baseline = {
+        row["configuration"]: row["qps"]
+        for row in committed.get("configurations", [])
+        if row["placement"] == "local"
+    }
+    failures = []
+    for row in record["configurations"]:
+        baseline_qps = baseline.get(row["configuration"])
+        if not baseline_qps:
+            continue
+        floor = baseline_qps * (1.0 - BASELINE_TOLERANCE)
+        status = "ok" if row["qps"] >= floor else "REGRESSION"
+        print(f"[baseline] {row['configuration']}: {row['qps']:.0f} qps vs "
+              f"committed {baseline_qps:.0f} (floor {floor:.0f}) {status}")
+        if row["qps"] < floor:
+            failures.append(row)
+    assert not failures, (
+        f"local warm QPS regressed >{BASELINE_TOLERANCE:.0%} vs the "
+        f"committed baseline: {failures}"
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI gate: small query counts",
+    )
+    parser.add_argument(
+        "--check-baseline", action="store_true",
+        help=f"fail if local warm QPS drops >{BASELINE_TOLERANCE:.0%} vs "
+             f"the committed results file",
+    )
+    args = parser.parse_args(argv)
+
+    cpus = os.cpu_count() or 1
+    per_cell = SMOKE_QUERIES_PER_CELL if args.smoke else QUERIES_PER_CELL
+    gate_enforced = cpus >= SPEEDUP_MIN_CPUS
+
+    catalog = make_catalog()
+    start = time.perf_counter()
+    rows = [bench_cell(catalog, per_cell, placement="local", num_workers=0)]
+    for workers in WORKER_COUNTS:
+        rows.append(bench_cell(
+            catalog, per_cell, placement="distributed", num_workers=workers,
+        ))
+    for row in rows:
+        print(f"{row['configuration']:>15} qps={row['qps']:>8} "
+              f"p50={row['p50_ms']:>8}ms p95={row['p95_ms']:>8}ms "
+              f"scatter={row['scatter_ms_per_query']:>6}ms "
+              f"gather={row['gather_ms_per_query']:>6}ms")
+
+    local_qps = rows[0]["qps"]
+    speedups = {
+        row["configuration"]: round(row["qps"] / local_qps, 2)
+        for row in rows[1:]
+    }
+    record = {
+        "benchmark": "distributed",
+        "smoke": args.smoke,
+        "host": {"cpus": cpus},
+        "shards": SHARDS,
+        "query": "4-relation heavy join, hash-routed on the shard key",
+        "configurations": rows,
+        "speedup_vs_local": speedups,
+        "speedup_gate": {
+            "floor": SPEEDUP_FLOOR,
+            "enforced": gate_enforced,
+            "reason": (None if gate_enforced else
+                       f"host has {cpus} core(s) < {SPEEDUP_MIN_CPUS}: "
+                       f"recorded, not gated"),
+        },
+        "total_seconds": round(time.perf_counter() - start, 2),
+    }
+
+    if args.check_baseline:
+        check_baseline(record)
+
+    print(json.dumps({k: v for k, v in record.items()
+                      if k != "configurations"}, indent=2))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"[saved to {RESULTS_PATH}]")
+
+    # Sanity gates (shape always; speedup only on parallel hosts).
+    for row in rows:
+        assert row["qps"] > 0, row
+        assert row["p50_ms"] <= row["p95_ms"] + 1e-9, row
+    if gate_enforced:
+        best = speedups.get(f"distributed-{max(WORKER_COUNTS)}w", 0.0)
+        assert best >= SPEEDUP_FLOOR, (
+            f"distributed {max(WORKER_COUNTS)}-worker warm QPS only "
+            f"{best:.2f}x of local on a {cpus}-core host "
+            f"(floor {SPEEDUP_FLOOR}x)"
+        )
+    return record
+
+
+if __name__ == "__main__":
+    main()

@@ -127,10 +127,10 @@ def summarize(mix, concurrency, latencies, wall_seconds):
 
 
 def bench_mix(mix, catalog, concurrency, num_queries, planning_workers,
-              execution="auto", validate="off"):
+              execution="auto", validate="off", placement="local"):
     """One (mix, concurrency) cell; fresh session so caches start cold."""
     session = QuerySession(catalog, partitioning="off", execution=execution,
-                           validate=validate)
+                           validate=validate, placement=placement)
     service = None
     blocking = None
 
@@ -185,6 +185,7 @@ def bench_mix(mix, catalog, concurrency, num_queries, planning_workers,
         row["service_stats"] = service.stats()
         service.close()
     row["cache_stats"] = session.cache_stats()
+    session.close()
     if blocking is not None:
         blocking.shutdown(wait=False)
     return row
@@ -250,6 +251,14 @@ def main(argv=None):
              "(results are printed but not saved over the committed "
              "file)",
     )
+    parser.add_argument(
+        "--placement", choices=("local", "distributed"), default="local",
+        help="execution placement forwarded to QuerySession; "
+             "'distributed' scatters every execution across the worker "
+             "pool (results are printed but not saved over the "
+             "committed file — see bench_distributed.py for the "
+             "dedicated local-vs-distributed comparison)",
+    )
     args = parser.parse_args(argv)
 
     cpus = os.cpu_count() or 1
@@ -264,7 +273,8 @@ def main(argv=None):
         for concurrency in concurrencies:
             row = bench_mix(mix, catalog, concurrency, per_cell[mix],
                             planning_workers, execution=args.execution,
-                            validate=args.validate)
+                            validate=args.validate,
+                            placement=args.placement)
             rows.append(row)
             print(f"{mix:>9} c={concurrency:<3} "
                   f"qps={row['qps']:>8} p50={row['p50_ms']:>8}ms "
@@ -277,6 +287,7 @@ def main(argv=None):
         "smoke": args.smoke,
         "execution": args.execution,
         "validate": args.validate,
+        "placement": args.placement,
         "host": {"cpus": cpus, "planning_workers_cold_mix": planning_workers},
         "query": "6-relation running example (selectivity-balanced)",
         "mixes": rows,
@@ -292,10 +303,12 @@ def main(argv=None):
 
     print(json.dumps({k: v for k, v in record.items() if k != "mixes"},
                      indent=2))
-    if args.execution != "interpreted" and args.validate == "off":
-        # the committed file tracks the shipping (vectorized, unvalidated)
-        # path; oracle or validated runs are for comparison only and must
-        # not become the baseline the CI guard measures against
+    if args.execution != "interpreted" and args.validate == "off" \
+            and args.placement == "local":
+        # the committed file tracks the shipping (vectorized, unvalidated,
+        # local) path; oracle, validated or distributed runs are for
+        # comparison only and must not become the baseline the CI guard
+        # measures against
         RESULTS_DIR.mkdir(exist_ok=True)
         RESULTS_PATH.write_text(json.dumps(record, indent=2) + "\n")
         print(f"[saved to {RESULTS_PATH}]")

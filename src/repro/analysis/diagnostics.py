@@ -122,6 +122,12 @@ DIAGNOSTIC_CODES: dict[str, str] = {
                 "plan must carry none",
     "BOUND003": "malformed bound annotation: a prefix cardinality bound "
                 "or the worst-case bound is negative or non-finite",
+    # --- distributed placement -------------------------------------------
+    "PLACE001": "shard placement does not cover every shard exactly "
+                "once (a shard would execute twice or not at all)",
+    "PLACE002": "invalid placement knobs on the plan or spec (unknown "
+                "placement value, or a worker count inconsistent with "
+                "it)",
 }
 
 

@@ -39,6 +39,7 @@ from ..core.cyclic import ResidualPredicate, tree_query_from_residuals
 from ..core.lru import LRUCache
 from ..core.parser import Contradiction, ParsedQuery, Placeholder, parse_query
 from ..core.query import JoinQuery
+from ..distributed.placement import PLACEMENT_CHOICES, ShardPlacement
 from ..modes import ExecutionMode
 from ..storage.partition import FLOAT_EXACT_MAX
 from .diagnostics import (
@@ -89,6 +90,7 @@ PLAN_FINGERPRINT_COVERED: frozenset = frozenset({
     "query", "order", "mode", "child_orders", "residuals",
     "num_shards", "execution", "catalog",
     "cyclic_strategy", "wcoj_variable_order", "robustness",
+    "placement", "num_workers",
 })
 #: PhysicalPlan fields that are derived metadata: fully determined by
 #: the covered fields plus the cost model, or purely observational
@@ -102,6 +104,7 @@ SPEC_FINGERPRINT_COVERED: frozenset = frozenset({
     "root", "order", "mode", "child_orders", "residuals",
     "num_shards", "execution", "catalog_fingerprint",
     "cyclic_strategy", "wcoj_variable_order", "robustness",
+    "placement", "num_workers",
 })
 SPEC_FINGERPRINT_EXEMPT: frozenset = frozenset({
     "stats", "predicted_cost", "weights", "residual_selectivities",
@@ -134,6 +137,10 @@ CACHE_KEYED_KNOBS: dict[str, str] = {
     "robustness": "robustness",
     # rides along with robustness: decides whether the regret gate swaps
     "regret_factor": "regret_factor",
+    # keyed through their resolved forms: "auto" worker counts resolve
+    # per host, and plans are stamped with the resolution
+    "placement": "resolved_placement",
+    "num_workers": "resolved_workers",
 }
 #: Planner parameters that legitimately stay out of the cache key:
 #: the query and catalog are keyed separately (normalized query key +
@@ -693,6 +700,80 @@ class _FingerprintProbe:
         return "__planlint_catalog_probe__"
 
 
+def _placement_knob_checks(placement: Any, num_workers: Any,
+                           emitter: _Emitter, subject: str) -> bool:
+    """PLACE002 over either a plan's or a spec's placement knobs."""
+    if placement not in PLACEMENT_CHOICES:
+        emitter.error(
+            "PLACE002",
+            f"{subject} carries invalid placement {placement!r} "
+            f"(expected one of {PLACEMENT_CHOICES})",
+        )
+        return False
+    if not isinstance(num_workers, int) or isinstance(num_workers, bool) \
+            or num_workers < 0:
+        emitter.error(
+            "PLACE002",
+            f"{subject} carries invalid num_workers {num_workers!r} "
+            f"(expected a non-negative int)",
+        )
+        return False
+    if placement == "local" and num_workers != 0:
+        emitter.error(
+            "PLACE002",
+            f"local {subject} carries num_workers={num_workers} "
+            f"(stale worker-count resolution)",
+        )
+        return False
+    if placement == "distributed" and num_workers < 1:
+        emitter.error(
+            "PLACE002",
+            f"distributed {subject} carries num_workers={num_workers} "
+            f"(an unresolved auto count — plans must be stamped with "
+            f"the resolution)",
+        )
+        return False
+    return True
+
+
+def _pass_placement(plan: "PhysicalPlan", source: Optional[ParsedQuery],
+                    emitter: _Emitter, level: str) -> None:
+    """PLACE001/PLACE002: placement knobs and shard-coverage hygiene.
+
+    A distributed plan must carry a resolved worker count, and the
+    placements the pool would derive from it — rendezvous over the
+    plan's shards and the striped fallback — must partition their
+    shard ids (every shard owned by exactly one worker; a violation
+    would execute a shard twice or not at all).  Re-deriving here is
+    sound because placement is deterministic in (num_shards,
+    num_workers): the pool and this pass see the same assignment.
+    """
+    placement = getattr(plan, "placement", "local")
+    num_workers = getattr(plan, "num_workers", 0)
+    if not _placement_knob_checks(placement, num_workers, emitter, "plan"):
+        return
+    if placement != "distributed":
+        return
+    candidates = [ShardPlacement.striped(num_workers)]
+    if isinstance(plan.num_shards, int) \
+            and not isinstance(plan.num_shards, bool) \
+            and plan.num_shards >= 1:
+        candidates.append(ShardPlacement.rendezvous(
+            plan.num_shards, tuple(range(num_workers))
+        ))
+    for candidate in candidates:
+        try:
+            candidate.validate()
+        except ValueError as exc:
+            emitter.error(
+                "PLACE001",
+                f"{candidate.routing} placement over "
+                f"{candidate.num_shards} shard(s) and "
+                f"{num_workers} worker(s) does not partition the "
+                f"shards: {exc}",
+            )
+
+
 def _pass_fingerprint_registry(plan: "PhysicalPlan",
                                source: Optional[ParsedQuery],
                                emitter: _Emitter, level: str) -> None:
@@ -798,6 +879,12 @@ def _pass_fingerprint_sensitivity(plan: "PhysicalPlan",
         yield "robustness", (
             "bounded" if plan.robustness != "bounded" else "off"
         )
+        yield "placement", (
+            "distributed" if plan.placement != "distributed" else "local"
+        )
+        if isinstance(plan.num_workers, int) \
+                and not isinstance(plan.num_workers, bool):
+            yield "num_workers", plan.num_workers + 1
         yield "catalog", _FingerprintProbe()
 
     for field_name, value in _perturbations():
@@ -821,6 +908,7 @@ PLAN_PASSES: Tuple[Tuple[str, Callable, str], ...] = (
     ("predicates", _pass_predicates, "basic"),
     ("wcoj", _pass_wcoj, "basic"),
     ("bounds", _pass_bounds, "basic"),
+    ("placement", _pass_placement, "basic"),
     ("schema", _pass_schema, "basic"),
     ("shards", _pass_shards, "basic"),
     ("fingerprint-registry", _pass_fingerprint_registry, "basic"),
@@ -936,6 +1024,11 @@ def verify_spec(spec: "PlanSpec",
         tuple(getattr(spec, "prefix_bounds", ())),
         getattr(spec, "worst_case_bound", 0.0),
         len(spec.order), emitter, "spec",
+    )
+    _placement_knob_checks(
+        getattr(spec, "placement", "local"),
+        getattr(spec, "num_workers", 0),
+        emitter, "spec",
     )
     if not isinstance(spec.num_shards, int) \
             or isinstance(spec.num_shards, bool) or spec.num_shards < 1:

@@ -788,6 +788,7 @@ def execute_cyclic(
     max_intermediate_tuples=50_000_000,
     child_orders=None,
     execution="auto",
+    driver_rows=None,
 ):
     """Evaluate a (possibly cyclic) plan: tree join + residual filters.
 
@@ -811,7 +812,10 @@ def execute_cyclic(
     results report base row ids, and residual values are gathered in
     base-row-id space.  ``execution`` selects the kernel path for both
     the tree join and the residual stage (see
-    :func:`repro.engine.executor.execute`).
+    :func:`repro.engine.executor.execute`); ``driver_rows`` restricts
+    the tree join to a subset of root rows (the distributed scatter
+    path — residual filtering is per-tuple, so it decomposes over any
+    driver partition).
     """
     from ..engine.executor import BudgetExceededError, execute
     from ..engine.kernels import get_kernels, resolve_execution
@@ -828,6 +832,7 @@ def execute_cyclic(
             expansion_batch=expansion_batch,
             max_intermediate_tuples=max_intermediate_tuples,
             execution=execution,
+            driver_rows=driver_rows,
         )
         return result.output_size, result, result.output_rows
 
@@ -839,6 +844,7 @@ def execute_cyclic(
             child_orders=child_orders,
             max_intermediate_tuples=max_intermediate_tuples,
             execution=execution,
+            driver_rows=driver_rows,
         )
         # Root-to-leaf residuals filter factorized entries before they
         # multiply out; only cross-branch residuals still need the
@@ -871,13 +877,14 @@ def execute_cyclic(
             expansion_batch=expansion_batch,
             max_intermediate_tuples=max_intermediate_tuples,
             execution=execution,
+            driver_rows=driver_rows,
         )
         residuals = list(plan.residuals)
         pre_filter = result.output_size
         batches = _row_batches(result.output_rows or {}, expansion_batch)
 
     result.counters.residual_input_tuples += pre_filter
-    result.counters.note_intermediate(pre_filter)
+    result.counters.note_intermediate(pre_filter, stage="<residuals>")
     total = 0
     collected = [] if collect_output else None
     for batch in batches:

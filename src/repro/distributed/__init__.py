@@ -1,0 +1,27 @@
+"""Distributed shard placement and scatter/gather execution.
+
+See :mod:`repro.distributed.placement` for the shard-to-worker policy
+and :mod:`repro.distributed.workerpool` for the persistent worker
+processes and the scatter/gather data path.  The subsystem sits behind
+the ``placement="local"|"distributed"`` planner/session knob; results
+and :class:`~repro.engine.executor.ExecutionCounters` are bit-identical
+to single-process execution by construction (property-tested in
+``tests/properties/test_prop_distributed.py``).
+"""
+
+from .placement import (
+    DEFAULT_MAX_WORKERS,
+    PLACEMENT_CHOICES,
+    ShardPlacement,
+    rendezvous_score,
+)
+from .workerpool import DistributedExecutionError, WorkerPool
+
+__all__ = [
+    "DEFAULT_MAX_WORKERS",
+    "DistributedExecutionError",
+    "PLACEMENT_CHOICES",
+    "ShardPlacement",
+    "WorkerPool",
+    "rendezvous_score",
+]

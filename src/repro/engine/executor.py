@@ -73,11 +73,25 @@ class ExecutionCounters:
     #: a size, not work, so it carries no weight in :meth:`weighted_cost`
     peak_intermediate_tuples: int = 0
     hash_probes_by_relation: dict = field(default_factory=dict)
+    #: per-stage intermediate-tuple totals, keyed by the stage label
+    #: passed to :meth:`note_intermediate` (the joined relation for
+    #: pipeline joins, ``"<residuals>"`` for the cyclic pre-filter
+    #: expansion).  Additive over disjoint driver partitions, which is
+    #: what lets a distributed gather reconstruct the single-process
+    #: ``peak_intermediate_tuples`` exactly: each labeled stage runs
+    #: once per execution, so the merged peak is the max of the summed
+    #: per-stage totals.  Unlabeled notes (wcoj frontiers) update only
+    #: the peak.
+    intermediate_tuples_by_stage: dict = field(default_factory=dict)
 
-    def note_intermediate(self, size):
+    def note_intermediate(self, size, stage=None):
         """Record an intermediate materialization high-water mark."""
         if size > self.peak_intermediate_tuples:
             self.peak_intermediate_tuples = int(size)
+        if stage is not None:
+            self.intermediate_tuples_by_stage[stage] = (
+                self.intermediate_tuples_by_stage.get(stage, 0) + int(size)
+            )
 
     def count_hash_probes(self, relation, probes):
         self.hash_probes += probes
@@ -232,7 +246,7 @@ def _run_factorized(query, catalog, order, indexes, bitvectors, checks_after,
                                          lookup.counts[matched])
         result.add_node(relation, matches, parent_ptr)
         counters.tuples_generated += len(matches)
-        counters.note_intermediate(len(matches))
+        counters.note_intermediate(len(matches), stage=relation)
         result.propagate_deaths()
         if bitvectors is not None:
             for pending in checks_after[relation]:
@@ -259,6 +273,7 @@ def execute(
     max_intermediate_tuples=50_000_000,
     execution="auto",
     monitor=None,
+    driver_rows=None,
 ):
     """Execute ``query`` in the given join ``order`` under ``mode``.
 
@@ -293,6 +308,14 @@ def execute(
         each join step reports its probe/match counters to it (an O(1)
         check), and the monitor may abort the run by raising
         :class:`~repro.engine.feedback.ReplanSignal`.
+    driver_rows:
+        Optional subset of root-relation row ids to drive the pipeline
+        with (default: every root row).  Semi-join variants intersect
+        the subset with the phase-1 reduction, preserving reduction
+        order.  The distributed scatter path partitions the driver row
+        set across workers through this parameter; executing each
+        disjoint subset and merging is exactly equivalent to one run
+        over the union.
     """
     mode = ExecutionMode(mode)
     execution = resolve_execution(execution)
@@ -325,9 +348,18 @@ def execute(
         checks_after = _bitvector_check_schedule(query, order)
 
     if reduction is not None:
-        driver_rows = reduction.rows(query.root)
-    else:
+        rows = reduction.rows(query.root)
+        if driver_rows is not None:
+            # keep the reduction's (ascending) order; drop rows outside
+            # the requested driver subset
+            mask = np.zeros(len(catalog.table(query.root)), dtype=bool)
+            mask[np.asarray(driver_rows, dtype=np.int64)] = True
+            rows = rows[mask[rows]]
+        driver_rows = rows
+    elif driver_rows is None:
         driver_rows = np.arange(len(catalog.table(query.root)), dtype=np.int64)
+    else:
+        driver_rows = np.asarray(driver_rows, dtype=np.int64)
 
     output_rows = None
     factorized = None
@@ -437,7 +469,7 @@ def _run_flat_driver(query, catalog, order, indexes, bitvectors, checks_after,
                  for rel, rows in frame.items()}
         frame[relation] = matches
         counters.tuples_generated += len(matches)
-        counters.note_intermediate(len(matches))
+        counters.note_intermediate(len(matches), stage=relation)
         if bitvectors is not None:
             for pending in checks_after[relation]:
                 apply_check(pending)

@@ -73,6 +73,7 @@ from .core.optimizer import (
     worst_case_cost,
 )
 from .core.parser import Contradiction, ParsedQuery, parse_query
+from .distributed.placement import DEFAULT_MAX_WORKERS, PLACEMENT_CHOICES
 from .core.query import JoinQuery
 from .core.stats import (
     EdgeStats,
@@ -214,13 +215,22 @@ class PhysicalPlan:
     #: (:func:`repro.core.optimizer.worst_case_cost`; 0.0 when
     #: ``robustness="off"``) — derived metadata, never fingerprinted
     worst_case_bound: float = 0.0
+    #: resolved execution placement ("local" / "distributed") — part of
+    #: the fingerprint and the plan-cache key; "distributed" routes
+    #: session executions through the scatter/gather worker pool
+    #: (:mod:`repro.distributed`)
+    placement: str = "local"
+    #: resolved worker-process count of a distributed plan (0 for local
+    #: plans) — part of the fingerprint and the plan-cache key
+    num_workers: int = 0
 
     @property
     def is_cyclic(self):
         return bool(self.residuals)
 
     def execute(self, flat_output=True, collect_output=False,
-                max_intermediate_tuples=50_000_000, monitor=None):
+                max_intermediate_tuples=50_000_000, monitor=None,
+                driver_rows=None):
         """Run the plan on the engine.
 
         Cyclic plans route by :attr:`cyclic_strategy`: ``tree_filter``
@@ -238,9 +248,20 @@ class PhysicalPlan:
         forwarded to the acyclic pipelines only — cyclic execution
         interleaves residual filtering with the tree join, so its
         per-join counters do not measure a single edge selectivity.
+
+        ``driver_rows`` restricts the run to a subset of root rows (the
+        distributed scatter path).  Always executes in-process — even on
+        a ``placement="distributed"`` plan — so the worker side of the
+        pool can call it without recursing; the session layer is what
+        routes distributed plans to the pool.
         """
         if self.residuals:
             if self.cyclic_strategy == "wcoj":
+                if driver_rows is not None:
+                    raise ValueError(
+                        "wcoj plans are not driver-decomposable; "
+                        "driver_rows is only supported for tree pipelines"
+                    )
                 _, result, _ = execute_wcoj(
                     self.catalog,
                     CyclicPlan(self.query, list(self.residuals)),
@@ -261,6 +282,7 @@ class PhysicalPlan:
                 max_intermediate_tuples=max_intermediate_tuples,
                 child_orders=self.child_orders or None,
                 execution=self.execution,
+                driver_rows=driver_rows,
             )
             return result
         return execute(
@@ -274,6 +296,7 @@ class PhysicalPlan:
             max_intermediate_tuples=max_intermediate_tuples,
             execution=self.execution,
             monitor=monitor,
+            driver_rows=driver_rows,
         )
 
     def fingerprint(self):
@@ -306,6 +329,8 @@ class PhysicalPlan:
             self.cyclic_strategy,
             tuple(tuple(member) for member in self.wcoj_variable_order),
             self.robustness,
+            self.placement,
+            self.num_workers,
             self.catalog.fingerprint(),
         ))
         return hashlib.blake2b(payload.encode(), digest_size=16).hexdigest()
@@ -395,6 +420,8 @@ class PhysicalPlan:
             robustness=self.robustness,
             prefix_bounds=tuple(self.prefix_bounds),
             worst_case_bound=self.worst_case_bound,
+            placement=self.placement,
+            num_workers=self.num_workers,
         )
 
     def __repr__(self):
@@ -461,6 +488,11 @@ class PlanSpec:
     #: guaranteed worst-case probe work of ``order`` (0.0 when
     #: robustness="off") — derived metadata
     worst_case_bound: float = 0.0
+    #: resolved execution placement; "local" default keeps older
+    #: pickled specs rehydratable
+    placement: str = "local"
+    #: resolved worker-process count (0 for local plans)
+    num_workers: int = 0
 
     def __repr__(self):
         residuals = (
@@ -584,7 +616,8 @@ class Planner:
                  idp_block_size=8, beam_width=8, planning_budget_ms=None,
                  partitioning="off", max_spanning_trees=16,
                  execution="auto", cyclic_execution="auto", validate="off",
-                 robustness="off", regret_factor=4.0):
+                 robustness="off", regret_factor=4.0,
+                 placement="local", num_workers=0):
         self.catalog = catalog
         self.weights = weights or CostWeights()
         self.eps = eps
@@ -639,6 +672,19 @@ class Planner:
                 f"got {regret_factor!r}"
             )
         self.regret_factor = float(regret_factor)
+        if placement not in PLACEMENT_CHOICES:
+            raise ValueError(
+                f"placement must be one of {PLACEMENT_CHOICES}, "
+                f"got {placement!r}"
+            )
+        self.placement = placement
+        if not isinstance(num_workers, int) or isinstance(num_workers, bool) \
+                or num_workers < 0:
+            raise ValueError(
+                f"num_workers must be an int >= 0 (0 = auto), "
+                f"got {num_workers!r}"
+            )
+        self.num_workers = num_workers
         self._verifier = PlanVerifier()
         # Two levels of content-addressed partitioning reuse: whole
         # derived catalogs (so exact-repeat plan() calls share built
@@ -750,6 +796,49 @@ class Planner:
         if execution is None:
             execution = self.execution
         return _resolve_kernel_execution(execution)
+
+    def resolve_placement(self, placement=None):
+        """The concrete execution placement a query will run under.
+
+        ``None`` falls back to the planner default; anything else must
+        be a member of
+        :data:`~repro.distributed.placement.PLACEMENT_CHOICES`.  The
+        resolved value is part of the service layer's plan-cache key
+        (and the plan fingerprint), mirroring the other resolve
+        helpers.
+        """
+        if placement is None:
+            placement = self.placement
+        if placement not in PLACEMENT_CHOICES:
+            raise ValueError(
+                f"placement must be one of {PLACEMENT_CHOICES}, "
+                f"got {placement!r}"
+            )
+        return placement
+
+    def resolve_num_workers(self, num_workers=None, placement=None):
+        """The concrete worker count a distributed plan will run with.
+
+        Local placements always resolve to 0 (no pool).  For
+        ``"distributed"``, ``0`` ("auto") resolves to the host's core
+        count capped at
+        :data:`~repro.distributed.placement.DEFAULT_MAX_WORKERS`;
+        explicit counts resolve to themselves.  Part of the plan-cache
+        key and the plan fingerprint.
+        """
+        if num_workers is None:
+            num_workers = self.num_workers
+        if not isinstance(num_workers, int) or isinstance(num_workers, bool) \
+                or num_workers < 0:
+            raise ValueError(
+                f"num_workers must be an int >= 0 (0 = auto), "
+                f"got {num_workers!r}"
+            )
+        if self.resolve_placement(placement) == "local":
+            return 0
+        if num_workers > 0:
+            return num_workers
+        return max(1, min(DEFAULT_MAX_WORKERS, os.cpu_count() or 1))
 
     @staticmethod
     def resolve_optimizer(optimizer, num_relations, planning_budget_ms=None):
@@ -1084,6 +1173,8 @@ class Planner:
         cyclic_execution=None,
         validate=None,
         robustness=None,
+        placement=None,
+        num_workers=None,
     ):
         """Build a :class:`PhysicalPlan`.
 
@@ -1179,6 +1270,21 @@ class Planner:
             plus the annotation).  The resolved value lands in the plan
             fingerprint, :class:`PlanSpec` and the session plan-cache
             key.
+        placement:
+            ``"local"`` or ``"distributed"``; ``None`` (default) uses
+            the planner's configured default.  ``"distributed"`` stamps
+            the plan for scatter/gather execution on a
+            :class:`~repro.distributed.WorkerPool` — the session layer
+            routes it there; a bare :meth:`PhysicalPlan.execute` still
+            runs in-process.  Bit-identical results and counters either
+            way.  Resolved into the fingerprint, :class:`PlanSpec` and
+            the session plan-cache key.
+        num_workers:
+            Worker-process count for ``placement="distributed"``
+            (``0`` = auto: core count capped at
+            :data:`~repro.distributed.placement.DEFAULT_MAX_WORKERS`);
+            ``None`` (default) uses the planner's configured default.
+            Always resolves to 0 under local placement.
         """
         if optimizer not in self.OPTIMIZERS:
             raise ValueError(
@@ -1212,6 +1318,8 @@ class Planner:
             if planning_budget_ms else None
         )
         execution = self.resolve_execution(execution)
+        placement = self.resolve_placement(placement)
+        num_workers = self.resolve_num_workers(num_workers, placement)
         prep = self._prepare(query, partitioning, stats)
         join_query = prep.join_query
         num_relations = (
@@ -1228,17 +1336,23 @@ class Planner:
         )
         if join_query is None:
             return self._validated(
-                self._plan_cyclic(
-                    prep, modes, optimizer, driver, stats, deadline,
-                    tree_search, execution, cyclic_execution, robustness,
+                self._placed(
+                    self._plan_cyclic(
+                        prep, modes, optimizer, driver, stats, deadline,
+                        tree_search, execution, cyclic_execution, robustness,
+                    ),
+                    placement, num_workers,
                 ),
                 prep, validate,
             )
         if driver == "auto" and join_query.num_relations > 1:
             return self._validated(
-                self._plan_driver_auto(
-                    prep, modes, optimizer, stats, flat_output, deadline,
-                    execution, robustness,
+                self._placed(
+                    self._plan_driver_auto(
+                        prep, modes, optimizer, stats, flat_output, deadline,
+                        execution, robustness,
+                    ),
+                    placement, num_workers,
                 ),
                 prep, validate,
             )
@@ -1272,7 +1386,16 @@ class Planner:
         best = self._apply_robustness(
             robustness, best, prep, modes, optimizer, deadline, flat_output,
         )
+        best = self._placed(best, placement, num_workers)
         return self._validated(best, prep, validate)
+
+    @staticmethod
+    def _placed(plan, placement, num_workers):
+        """Stamp the resolved placement knobs on a produced plan."""
+        if plan is not None:
+            plan.placement = placement
+            plan.num_workers = num_workers
+        return plan
 
     def _validated(self, plan, prep, validate):
         """Apply the resolved ``validate`` level to a produced plan.
@@ -2009,6 +2132,8 @@ class Planner:
             robustness=getattr(spec, "robustness", "off"),
             prefix_bounds=tuple(getattr(spec, "prefix_bounds", ())),
             worst_case_bound=getattr(spec, "worst_case_bound", 0.0),
+            placement=getattr(spec, "placement", "local"),
+            num_workers=getattr(spec, "num_workers", 0),
         )
         if validate != "off":
             source = query if isinstance(query, ParsedQuery) else None

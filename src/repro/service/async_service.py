@@ -222,6 +222,8 @@ class AsyncQueryService:
             "process_pool_fallbacks": 0,
             "heavy_admissions": 0,
             "replans": 0,
+            "distributed_executions": 0,
+            "worker_retries": 0,
         }
 
     # ------------------------------------------------------------------
@@ -229,13 +231,14 @@ class AsyncQueryService:
     # ------------------------------------------------------------------
 
     def close(self):
-        """Shut down the execution threads and any planning workers."""
+        """Shut down execution threads, planning and execution workers."""
         self._closed = True
         self._executor.shutdown(wait=True)
         with self._pool_lock:
             if self._planning_pool is not None:
                 self._planning_pool.shutdown(wait=True)
                 self._planning_pool = None
+        self.session.close()
 
     async def aclose(self):
         await asyncio.get_running_loop().run_in_executor(None, self.close)
@@ -340,6 +343,11 @@ class AsyncQueryService:
                             # land under the wrong cache key
                             "robustness": planner.robustness,
                             "regret_factor": planner.regret_factor,
+                            # workers must stamp the session's placement
+                            # knobs on their specs or the spec would
+                            # fingerprint (and cache) as a local plan
+                            "placement": planner.placement,
+                            "num_workers": planner.num_workers,
                         },
                     ),
                 )
@@ -493,6 +501,11 @@ class AsyncQueryService:
             replans = getattr(report, "replans", 0)
             if replans:
                 self._bump("replans", replans)
+            if getattr(report, "workers_used", 0):
+                self._bump("distributed_executions")
+            retries = getattr(report, "worker_retries", 0)
+            if retries:
+                self._bump("worker_retries", retries)
             self._bump("completed")
             return report
 

@@ -60,6 +60,19 @@ class QueryReport:
     #: wall time of the phase-1 semi-join reduction (SJ modes build
     #: their reduced indexes here, so read both phases for build cost)
     reduction_seconds: float = 0.0
+    #: worker processes a distributed execution gathered results from
+    #: (0 = the query ran in-process)
+    workers_used: int = 0
+    #: wall time routing driver rows and shipping fragments to workers
+    #: (distributed executions only)
+    scatter_seconds: float = 0.0
+    #: wall time merging per-worker rows and counters (distributed
+    #: executions only)
+    gather_seconds: float = 0.0
+    #: worker deaths recovered by sibling retry during this execution
+    worker_retries: int = 0
+    #: human-readable partial-failure events (one per recovered death)
+    worker_events: tuple = ()
     #: snapshot of :meth:`QuerySession.cache_stats` taken when the
     #: report was produced (``None`` outside session executions)
     cache_stats: dict = None
@@ -153,6 +166,15 @@ def _reported_run(query, plan_phase, session=None):
         )
         report.reduction_seconds = getattr(
             report.result, "reduction_seconds", 0.0
+        )
+        report.workers_used = getattr(report.result, "workers_used", 0)
+        report.scatter_seconds = getattr(
+            report.result, "scatter_seconds", 0.0
+        )
+        report.gather_seconds = getattr(report.result, "gather_seconds", 0.0)
+        report.worker_retries = getattr(report.result, "worker_retries", 0)
+        report.worker_events = tuple(
+            getattr(report.result, "worker_events", ())
         )
         report.residual_predicates = tuple(getattr(plan, "residuals", ()))
         report.replans = getattr(report.result, "replans", 0)
@@ -252,6 +274,18 @@ class QuerySession:
         Replan budget per execution; after this many trips the original
         signal's plan finishes unmonitored (no livelock).  Runtime
         behaviour only — never part of the plan-cache key.
+    placement:
+        Default execution placement (``"local"`` / ``"distributed"``),
+        forwarded to the :class:`~repro.planner.Planner` and part of
+        the plan-cache key.  ``"distributed"`` executions scatter the
+        driver rows across a lazily-started
+        :class:`~repro.distributed.WorkerPool` (one per catalog
+        fingerprint and worker count; see :meth:`close`) and gather
+        bit-identical rows and counters back.
+    num_workers:
+        Worker-process count for distributed placement (``0`` = auto),
+        forwarded to the :class:`~repro.planner.Planner`; the
+        *resolved* count is part of the plan-cache key.
     """
 
     def __init__(self, catalog, weights=None, eps=0.01, plan_cache_size=128,
@@ -260,7 +294,8 @@ class QuerySession:
                  max_spanning_trees=16, execution="auto",
                  cyclic_execution="auto", validate="off",
                  robustness="off", regret_factor=4.0,
-                 replan_threshold=8.0, max_replans=2):
+                 replan_threshold=8.0, max_replans=2,
+                 placement="local", num_workers=0):
         self.catalog = catalog
         self.planner = Planner(
             catalog, weights=weights, eps=eps,
@@ -272,6 +307,7 @@ class QuerySession:
             execution=execution, cyclic_execution=cyclic_execution,
             validate=validate, robustness=robustness,
             regret_factor=regret_factor,
+            placement=placement, num_workers=num_workers,
         )
         if isinstance(replan_threshold, bool) or not isinstance(
             replan_threshold, (int, float)
@@ -290,6 +326,12 @@ class QuerySession:
         self.max_replans = max_replans
         self.plan_cache = PlanCache(plan_cache_size)
         self._last_fingerprint = None
+        # distributed execution: one lazily-started worker pool, keyed
+        # by (catalog fingerprint, worker count); `_worker_pool_factory`
+        # is the fault-injection seam (tests install a killing wrapper)
+        self._worker_pool = None
+        self._worker_pool_key = None
+        self._worker_pool_factory = None
 
     # ------------------------------------------------------------------
     # Cached planning
@@ -298,7 +340,8 @@ class QuerySession:
     def _plan_options(self, mode, resolved_optimizer, driver, stats,
                       flat_output, resolved_shards, partition_floor,
                       budget_ms, tree_search, resolved_execution,
-                      cyclic_execution, robustness):
+                      cyclic_execution, robustness, resolved_placement,
+                      resolved_workers):
         # Keyed on the *resolved* algorithm and shard count (never the
         # raw "auto"), so an auto-planned query and an explicit request
         # for the same resolution share one cache entry.  The scaling
@@ -340,6 +383,12 @@ class QuerySession:
             # because it decides whether the gate swaps the order
             robustness,
             self.planner.regret_factor,
+            # placement + resolved worker count: plans are stamped with
+            # both (they reach workers through PlanSpec), so a "local"
+            # plan must never serve a "distributed" request or
+            # vice versa, and retuning num_workers re-stamps
+            resolved_placement,
+            resolved_workers,
         )
 
     @staticmethod
@@ -353,7 +402,8 @@ class QuerySession:
                   driver="fixed", stats="exact", flat_output=True,
                   partitioning=None, planning_budget_ms=None,
                   tree_search="joint", execution=None,
-                  cyclic_execution=None, validate=None, robustness=None):
+                  cyclic_execution=None, validate=None, robustness=None,
+                  placement=None, num_workers=None):
         """The plan-cache key :meth:`plan` would use for this request.
 
         ``validate`` is accepted (so callers can forward uniform plan
@@ -392,6 +442,10 @@ class QuerySession:
             cyclic_execution = self.planner.cyclic_execution
         if robustness is None:
             robustness = self.planner.robustness
+        resolved_placement = self.planner.resolve_placement(placement)
+        resolved_workers = self.planner.resolve_num_workers(
+            num_workers, resolved_placement
+        )
         return self.plan_cache.key(
             query,
             fingerprint,
@@ -399,14 +453,16 @@ class QuerySession:
                                flat_output, resolved_shards,
                                partition_floor, planning_budget_ms,
                                tree_search, resolved_execution,
-                               cyclic_execution, robustness),
+                               cyclic_execution, robustness,
+                               resolved_placement, resolved_workers),
         )
 
     def plan(self, query, mode="auto", optimizer="exhaustive", driver="fixed",
              stats="exact", flat_output=True, use_cache=True,
              partitioning=None, planning_budget_ms=None,
              tree_search="joint", execution=None, cyclic_execution=None,
-             validate=None, robustness=None):
+             validate=None, robustness=None, placement=None,
+             num_workers=None):
         """A :class:`~repro.planner.PhysicalPlan`, via the plan cache.
 
         Accepts the same arguments as :meth:`Planner.plan` (including
@@ -429,7 +485,8 @@ class QuerySession:
             planning_budget_ms=planning_budget_ms,
             tree_search=tree_search, execution=execution,
             cyclic_execution=cyclic_execution, validate=validate,
-            robustness=robustness,
+            robustness=robustness, placement=placement,
+            num_workers=num_workers,
         )[0]
 
     def _plan_with_hit(self, query, mode="auto", optimizer="exhaustive",
@@ -437,7 +494,8 @@ class QuerySession:
                        use_cache=True, partitioning=None,
                        planning_budget_ms=None, tree_search="joint",
                        execution=None, cyclic_execution=None,
-                       validate=None, robustness=None):
+                       validate=None, robustness=None, placement=None,
+                       num_workers=None):
         """``(plan, cache_hit)`` — :meth:`plan` plus a race-free hit flag.
 
         The flag comes from *this call's own* cache lookup, never from
@@ -456,6 +514,7 @@ class QuerySession:
                 planning_budget_ms=planning_budget_ms,
                 tree_search=tree_search, execution=execution,
                 cyclic_execution=cyclic_execution, robustness=robustness,
+                placement=placement, num_workers=num_workers,
             )
             plan = self.plan_cache.get(key)
             if plan is not None:
@@ -467,7 +526,8 @@ class QuerySession:
                 planning_budget_ms=planning_budget_ms,
                 tree_search=tree_search, execution=execution,
                 cyclic_execution=cyclic_execution, validate=validate,
-                robustness=robustness,
+                robustness=robustness, placement=placement,
+                num_workers=num_workers,
             )
             self.plan_cache.put(key, plan)
             return plan, False
@@ -476,7 +536,8 @@ class QuerySession:
             stats=stats, flat_output=flat_output, partitioning=partitioning,
             planning_budget_ms=planning_budget_ms, tree_search=tree_search,
             execution=execution, cyclic_execution=cyclic_execution,
-            validate=validate, robustness=robustness,
+            validate=validate, robustness=robustness, placement=placement,
+            num_workers=num_workers,
         ), False
 
     def explain(self, query, **plan_kwargs):
@@ -536,7 +597,16 @@ class QuerySession:
         post-reduction fanout the ``m * fo`` edge estimate is not
         comparable against — a monitor there would manufacture
         q-errors out of the reduction itself.
+
+        Distributed plans route first, always unmonitored: the
+        cardinality monitor lives in the driver process and cannot
+        observe fragments executing in workers.
         """
+        if getattr(plan, "placement", "local") == "distributed":
+            return self._execute_plan(
+                plan, query, flat_output, collect_output,
+                max_intermediate_tuples, plan_kwargs,
+            )
         if (getattr(plan, "robustness", "off") != "auto"
                 or plan.is_cyclic or not plan.order):
             return plan.execute(
@@ -592,6 +662,87 @@ class QuerySession:
                     # future warm traffic serves the corrected plan
                     self.plan_cache.put(key, current)
             return result
+
+    def _execute_plan(self, plan, query, flat_output, collect_output,
+                      max_intermediate_tuples, plan_kwargs):
+        """Run one plan in-process or through the worker pool.
+
+        Distributed routing needs a driver-decomposable execution:
+        flat output (factorized results cannot be concatenated across
+        workers) and a non-wcoj cyclic strategy (the wcoj frontier is
+        not a per-driver-row computation).  Requests outside that
+        envelope fall back to the in-process path, which is always
+        correct — the plan itself executes identically either way.
+        """
+        if (getattr(plan, "placement", "local") == "distributed"
+                and getattr(plan, "num_workers", 0) >= 1
+                and flat_output
+                and getattr(plan, "cyclic_strategy", None) != "wcoj"):
+            pool = self._worker_pool_for(plan)
+            if isinstance(query, str):
+                query = parse_query(query)
+            # pin to the *base* catalog: workers hold (and rehydrate
+            # against) the session catalog, not the plan's derived one
+            spec = plan.to_spec(self.catalog.fingerprint())
+            return pool.run(
+                plan, spec, query,
+                partitioning=plan_kwargs.get("partitioning"),
+                collect_output=collect_output,
+                max_intermediate_tuples=max_intermediate_tuples,
+            )
+        return plan.execute(
+            flat_output=flat_output, collect_output=collect_output,
+            max_intermediate_tuples=max_intermediate_tuples,
+        )
+
+    def _worker_pool_for(self, plan):
+        """The (lazily started) worker pool for a distributed plan.
+
+        One pool lives at a time, keyed by (catalog fingerprint,
+        worker count); a key change closes the old pool and starts a
+        fresh one — workers hold a pickled catalog replica, so a
+        superseded catalog must not serve new queries.
+        """
+        from ..distributed.workerpool import WorkerPool
+
+        key = (self.catalog.fingerprint(), plan.num_workers)
+        if self._worker_pool is not None and self._worker_pool_key != key:
+            self._worker_pool.close()
+            self._worker_pool = None
+        if self._worker_pool is None:
+            planner = self.planner
+            factory = self._worker_pool_factory or WorkerPool
+            self._worker_pool = factory(
+                self.catalog,
+                planner_config={
+                    "weights": planner.weights,
+                    "eps": planner.eps,
+                    "idp_block_size": planner.idp_block_size,
+                    "beam_width": planner.beam_width,
+                    "planning_budget_ms": planner.planning_budget_ms,
+                    "partitioning": planner.partitioning,
+                    "max_spanning_trees": planner.max_spanning_trees,
+                    "execution": planner.execution,
+                    "cyclic_execution": planner.cyclic_execution,
+                    "validate": planner.validate,
+                    "robustness": planner.robustness,
+                    "regret_factor": planner.regret_factor,
+                },
+                num_workers=plan.num_workers,
+            )
+            self._worker_pool_key = key
+        return self._worker_pool
+
+    def close(self):
+        """Release the distributed worker pool, if one was started.
+
+        Idempotent, and the session stays usable — a later distributed
+        execution lazily starts a fresh pool.
+        """
+        if self._worker_pool is not None:
+            self._worker_pool.close()
+            self._worker_pool = None
+            self._worker_pool_key = None
 
     def _feedback_cache_key(self, query, flat_output, plan_kwargs):
         """The cache key a replanned plan should replace, or ``None``.
@@ -831,12 +982,12 @@ class PreparedStatement:
                 catalog = self._rebind_catalog(bound)
 
             def run():
-                # Same plan, re-bound catalog: PhysicalPlan.execute keeps
-                # the engine invocation in one place.
-                return replace(template, catalog=catalog).execute(
-                    flat_output=flat_output,
-                    collect_output=collect_output,
-                    max_intermediate_tuples=max_intermediate_tuples,
+                # Same plan, re-bound catalog: the session helper keeps
+                # the engine / worker-pool invocation in one place.
+                return self.session._execute_plan(
+                    replace(template, catalog=catalog), bound,
+                    flat_output, collect_output, max_intermediate_tuples,
+                    self.plan_kwargs,
                 )
 
             return template, cache_hit, run

@@ -225,3 +225,59 @@ def result_tuples(result, query):
         raise AssertionError("execute() was not asked to collect output")
     columns = [result.output_rows[rel].tolist() for rel in query.relations]
     return sorted(zip(*columns)) if columns and len(columns[0]) else []
+
+
+class KillingWorkerPool:
+    """Fault-injection wrapper: a worker pool that murders chosen workers.
+
+    Behaves exactly like :class:`repro.distributed.WorkerPool` except
+    that the first time a fragment is bound for a worker in ``victims``,
+    the worker process is killed (a poison task calls ``os._exit``)
+    before the fragment is submitted — so the fragment future surfaces
+    ``BrokenProcessPool`` exactly as a mid-query death would.  Install
+    via ``session._worker_pool_factory`` (partially applied over
+    ``victims``) to exercise the sibling-retry path deterministically.
+    """
+
+    def __init__(self, *args, victims=(), **kwargs):
+        from repro.distributed import WorkerPool
+
+        self._pool = WorkerPool(*args, **kwargs)
+        self.victims = set(victims)
+        self.kills = 0
+
+    def __getattr__(self, name):
+        return getattr(self._pool, name)
+
+    def _submit(self, worker, fn, *args):
+        from repro.distributed.workerpool import _execute_fragment
+
+        if fn is _execute_fragment and worker in self.victims:
+            self.victims.discard(worker)
+            self.kills += 1
+            executor = self._pool._executor(worker)
+            # the poison pill: the worker process exits mid-"task", so
+            # every later future on this executor breaks
+            executor.submit(os._exit, 13)
+        return self._pool._submit(worker, fn, *args)
+
+    def run(self, *args, **kwargs):
+        # delegate explicitly so WorkerPool.run's internal _submit calls
+        # dispatch through this wrapper, not the wrapped pool
+        from repro.distributed import WorkerPool
+
+        return WorkerPool.run.__get__(self)(*args, **kwargs)
+
+
+def killing_pool_factory(victims, **overrides):
+    """A ``session._worker_pool_factory`` that kills ``victims`` once.
+
+    ``overrides`` are forced onto the pool's constructor kwargs (e.g.
+    ``max_retries=0`` to pin the no-retry failure path).
+    """
+
+    def factory(*args, **kwargs):
+        kwargs.update(overrides)
+        return KillingWorkerPool(*args, victims=victims, **kwargs)
+
+    return factory

@@ -1,0 +1,153 @@
+"""Property: distributed execution is bit-identical to local execution.
+
+Across shard counts x worker counts x kernel paths, for acyclic and
+cyclic queries and for edge-case key dtypes (NaN, bool, >=2**53 ints),
+a ``placement="distributed"`` run must return the same rows in the same
+order and *bit-identical*
+:class:`~repro.engine.executor.ExecutionCounters` as the single-process
+run — counters are the calibrated currency of the cost model, so the
+scatter/gather merge must reconstruct them exactly, never approximately.
+
+Deterministic parametrization (not hypothesis): each cell spawns worker
+processes, so the grid is kept explicit and small.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.service.session import QuerySession
+from repro.workloads.random_trees import random_join_tree
+
+from tests.helpers import make_small_catalog
+
+from .test_prop_cyclic import TRIANGLE, build_triangle_catalog
+from .test_prop_engine import build_random_catalog
+from .test_prop_execution import _edge_case_catalog
+
+SHARD_COUNTS = (1, 2, 8)
+WORKER_COUNTS = (1, 2, 4)
+EXECUTIONS = ("vectorized", "interpreted")
+
+FOUR_RELATION_SQL = (
+    "SELECT * FROM R1, R2, R3, R5 "
+    "WHERE R1.B = R2.B AND R2.C = R3.C AND R1.E = R5.E"
+)
+
+COUNTER_FIELDS = [
+    f.name for f in dataclasses.fields(
+        __import__("repro.engine.executor", fromlist=["ExecutionCounters"])
+        .ExecutionCounters
+    )
+]
+
+
+def assert_bit_identical(local_report, dist_report, context=None):
+    assert local_report.ok, (local_report.error, context)
+    assert dist_report.ok, (dist_report.error, context)
+    local, dist = local_report.result, dist_report.result
+    assert dist.output_size == local.output_size, context
+    assert set(dist.output_rows) == set(local.output_rows), context
+    for relation, rows in local.output_rows.items():
+        assert np.array_equal(rows, dist.output_rows[relation]), \
+            (relation, context)
+    for name in COUNTER_FIELDS:
+        assert getattr(dist.counters, name) == \
+            getattr(local.counters, name), (name, context)
+
+
+def run_grid(catalog, query, *, session_kwargs=None, plan_kwargs=None):
+    """Compare local vs distributed over the full knob grid."""
+    session_kwargs = dict(session_kwargs or {})
+    plan_kwargs = dict(plan_kwargs or {})
+    for shards in SHARD_COUNTS:
+        shard_kwargs = dict(session_kwargs)
+        if shards > 1:
+            shard_kwargs["partitioning"] = shards
+        local = QuerySession(catalog, **shard_kwargs)
+        for workers in WORKER_COUNTS:
+            dist = QuerySession(
+                catalog, placement="distributed", num_workers=workers,
+                **shard_kwargs,
+            )
+            try:
+                for execution in EXECUTIONS:
+                    context = (shards, workers, execution)
+                    want = local.execute(
+                        query, collect_output=True,
+                        execution=execution, **plan_kwargs,
+                    )
+                    got = dist.execute(
+                        query, collect_output=True,
+                        execution=execution, **plan_kwargs,
+                    )
+                    assert_bit_identical(want, got, context)
+                    assert got.workers_used >= 1, context
+            finally:
+                dist.close()
+
+
+def test_running_example_grid():
+    run_grid(make_small_catalog(), FOUR_RELATION_SQL)
+
+
+def test_running_example_grid_semijoin_mode():
+    run_grid(
+        make_small_catalog(), FOUR_RELATION_SQL,
+        plan_kwargs={"mode": "SJ+COM"},
+    )
+
+
+def test_cyclic_triangle_grid():
+    run_grid(
+        build_triangle_catalog(seed=7), TRIANGLE,
+        session_kwargs={"cyclic_execution": "tree_filter"},
+    )
+
+
+@pytest.mark.parametrize("tree_seed,data_seed", [(11, 3), (29, 17)])
+def test_random_tree_queries(tree_seed, data_seed):
+    query = random_join_tree(max_nodes=5, seed=tree_seed)
+    catalog = build_random_catalog(query, data_seed)
+    local = QuerySession(catalog)
+    dist = QuerySession(catalog, placement="distributed", num_workers=2)
+    try:
+        want = local.execute(query, collect_output=True)
+        got = dist.execute(query, collect_output=True)
+        assert_bit_identical(want, got, (tree_seed, data_seed))
+    finally:
+        dist.close()
+
+
+@pytest.mark.parametrize("tree_seed,data_seed", [(5, 23), (41, 8)])
+def test_edge_case_dtypes(tree_seed, data_seed):
+    """NaN holes, bools and >=2**53 keys survive the scatter/gather."""
+    query = random_join_tree(max_nodes=4, seed=tree_seed)
+    catalog = _edge_case_catalog(query, data_seed)
+    local = QuerySession(catalog)
+    dist = QuerySession(catalog, placement="distributed", num_workers=2)
+    try:
+        want = local.execute(query, collect_output=True)
+        got = dist.execute(query, collect_output=True)
+        assert_bit_identical(want, got, (tree_seed, data_seed))
+    finally:
+        dist.close()
+
+
+def test_empty_driver_counters_still_match():
+    """A driver with zero rows still merges counters bit-identically."""
+    from repro.storage import Catalog
+
+    catalog = Catalog()
+    catalog.add_table("A", {"k": np.empty(0, dtype=np.int64)})
+    catalog.add_table("B", {"k": np.arange(5, dtype=np.int64)})
+    sql = "SELECT * FROM A, B WHERE A.k = B.k"
+    local = QuerySession(catalog)
+    dist = QuerySession(catalog, placement="distributed", num_workers=2)
+    try:
+        want = local.execute(sql, collect_output=True, mode="SJ+STD")
+        got = dist.execute(sql, collect_output=True, mode="SJ+STD")
+        assert_bit_identical(want, got, "empty-driver")
+    finally:
+        dist.close()
